@@ -1,0 +1,170 @@
+package rrmpcm
+
+// One benchmark per paper table/figure (DESIGN.md §5). Each bench
+// regenerates its artifact in quick mode (reduced windows, three
+// representative workloads) — run them with
+//
+//	go test -bench=. -benchmem
+//
+// Full-fidelity regeneration is cmd/experiments' job; these benches are
+// the fast, always-runnable variants. Simulation results are cached in a
+// shared runner across benchmarks (the experiments share runs exactly as
+// the figures share the scheme x workload matrix), so the first bench
+// touching the matrix pays for it and the rest measure table assembly.
+
+import (
+	"sync"
+	"testing"
+
+	"rrmpcm/internal/cache"
+	"rrmpcm/internal/experiments"
+	"rrmpcm/internal/memctrl"
+	"rrmpcm/internal/pcm"
+	"rrmpcm/internal/timing"
+	"rrmpcm/internal/trace"
+)
+
+var (
+	benchRunnerOnce sync.Once
+	benchRunner     *experiments.Runner
+)
+
+func sharedRunner() *experiments.Runner {
+	benchRunnerOnce.Do(func() {
+		benchRunner = experiments.NewRunner(experiments.Options{Quick: true, Seed: 1})
+	})
+	return benchRunner
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := sharedRunner()
+	for i := 0; i < b.N; i++ {
+		out, err := e.Run(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatal("empty experiment output")
+		}
+	}
+}
+
+func BenchmarkTable1_ModeTable(b *testing.B)          { benchExperiment(b, "table1") }
+func BenchmarkFigure2_StaticPerformance(b *testing.B) { benchExperiment(b, "fig2") }
+func BenchmarkFigure3_StaticLifetime(b *testing.B)    { benchExperiment(b, "fig3") }
+func BenchmarkFigure4_StaticWear(b *testing.B)        { benchExperiment(b, "fig4") }
+func BenchmarkTable3_RegionHistogram(b *testing.B)    { benchExperiment(b, "table3") }
+func BenchmarkTable7_MPKI(b *testing.B)               { benchExperiment(b, "table7") }
+func BenchmarkFigure7_Performance(b *testing.B)       { benchExperiment(b, "fig7") }
+func BenchmarkFigure8_Lifetime(b *testing.B)          { benchExperiment(b, "fig8") }
+func BenchmarkFigure9_Wear(b *testing.B)              { benchExperiment(b, "fig9") }
+func BenchmarkFigure10_Energy(b *testing.B)           { benchExperiment(b, "fig10") }
+func BenchmarkFigure11_HotThreshold(b *testing.B)     { benchExperiment(b, "fig11") }
+func BenchmarkFigure12_Coverage(b *testing.B)         { benchExperiment(b, "fig12") }
+func BenchmarkTable8_Storage(b *testing.B)            { benchExperiment(b, "table8") }
+func BenchmarkFigure13_EntrySize(b *testing.B)        { benchExperiment(b, "fig13") }
+
+func BenchmarkAblationGlobalRefresh(b *testing.B) { benchExperiment(b, "ablation-globalrefresh") }
+func BenchmarkAblationCleanWrites(b *testing.B)   { benchExperiment(b, "ablation-cleanwrites") }
+func BenchmarkAblationNoPause(b *testing.B)       { benchExperiment(b, "ablation-nopause") }
+func BenchmarkAblationDecay(b *testing.B)         { benchExperiment(b, "ablation-decay") }
+
+// --- component micro-benchmarks: simulator throughput itself ---
+
+func BenchmarkTraceGenerator(b *testing.B) {
+	p, err := trace.ProfileByName("GemsFDTD")
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := trace.NewMixture(p, 0, 2<<30, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var op trace.Op
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen.Next(&op)
+	}
+}
+
+func BenchmarkCacheHierarchyAccess(b *testing.B) {
+	h, err := cache.NewHierarchy(cache.DefaultHierarchyConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, _ := trace.ProfileByName("GemsFDTD")
+	gen, _ := trace.NewMixture(p, 0, 2<<30, 1)
+	var op trace.Op
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen.Next(&op)
+		kind := cache.Load
+		if op.Store {
+			kind = cache.Store
+		}
+		h.Access(i&3, op.Addr, kind, false)
+	}
+}
+
+func BenchmarkMemoryController(b *testing.B) {
+	amap, err := pcm.NewAddressMap(pcm.DefaultDeviceConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	eq := timing.NewEventQueue()
+	ctl, err := memctrl.New(memctrl.DefaultConfig(), amap, eq, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	state := uint64(1)
+	next := func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state
+	}
+	pending := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := &memctrl.Request{Kind: memctrl.ReadReq, Addr: next() % (8 << 30),
+			OnDone: func(timing.Time) { pending-- }}
+		if i%3 == 0 {
+			req.Kind = memctrl.WriteReq
+			req.Mode = pcm.Mode7SETs
+			req.Wear = pcm.WearDemandWrite
+		}
+		for pending > 64 {
+			eq.Step()
+		}
+		if ctl.TryEnqueue(req) {
+			pending++
+		} else {
+			eq.Step()
+		}
+	}
+	for eq.Step() {
+	}
+}
+
+func BenchmarkFullSystemSimulation(b *testing.B) {
+	w, err := WorkloadByName("GemsFDTD")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig(RRMScheme(), w)
+		cfg.Duration = 2 * Millisecond
+		cfg.Warmup = 500 * Microsecond
+		cfg.TimeScale = 1000
+		m, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(m.Instructions)/b.Elapsed().Seconds(), "sim-insts/s")
+	}
+}

@@ -1,0 +1,90 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-quick] [-seed N] [-run id[,id...]] [-list] [-o file]
+//
+// Without -run, the whole suite executes in DESIGN.md order. Experiment
+// ids are table1, fig2, fig3, fig4, table3, table7, fig7..fig13, table8
+// and the ablation-* studies. -quick uses the reduced windows the
+// benchmarks use (fast, noisier); the default full mode reproduces the
+// EXPERIMENTS.md numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"rrmpcm/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced simulation windows (fast, noisier)")
+	seed := flag.Uint64("seed", 1, "random seed for the whole pass")
+	runIDs := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	out := flag.String("o", "", "also write results to this file")
+	verbose := flag.Bool("v", true, "print per-run progress")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-24s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var selected []experiments.Experiment
+	if *runIDs == "" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*runIDs, ",") {
+			e, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	var sinks []io.Writer = []io.Writer{os.Stdout}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sinks = append(sinks, f)
+	}
+	w := io.MultiWriter(sinks...)
+
+	opt := experiments.Options{Quick: *quick, Seed: *seed}
+	if *verbose {
+		opt.Progress = os.Stderr
+	}
+	runner := experiments.NewRunner(opt)
+
+	mode := "full"
+	if *quick {
+		mode = "quick"
+	}
+	fmt.Fprintf(w, "RRM experiment suite (%s mode, seed %d)\n", mode, *seed)
+	start := time.Now()
+	for _, e := range selected {
+		fmt.Fprintf(os.Stderr, "== %s: %s\n", e.ID, e.Title)
+		t0 := time.Now()
+		text, err := e.Run(runner)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "\n===== %s — %s (%.1fs) =====\n%s", e.ID, e.Title, time.Since(t0).Seconds(), text)
+	}
+	fmt.Fprintf(w, "\ncompleted in %.1fs\n", time.Since(start).Seconds())
+}

@@ -1,0 +1,147 @@
+// Command rrmsim runs one simulation of the Tables IV/V system and
+// prints a full metrics report.
+//
+// Usage:
+//
+//	rrmsim [-scheme rrm|static-3|...|static-7] [-workload GemsFDTD]
+//	       [-duration 40ms] [-warmup 10ms] [-timescale 100]
+//	       [-hot-threshold 16] [-coverage 4] [-region-kb 4] [-seed 1]
+//
+// Examples:
+//
+//	rrmsim -scheme rrm -workload GemsFDTD
+//	rrmsim -scheme static-3 -workload MIX_2 -duration 20ms
+//	rrmsim -scheme rrm -hot-threshold 8   # the paper's aggressive config
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"rrmpcm"
+)
+
+func main() {
+	scheme := flag.String("scheme", "rrm", "write scheme: rrm or static-3..static-7")
+	workload := flag.String("workload", "GemsFDTD", "workload name (see -list-workloads)")
+	duration := flag.Duration("duration", 40*time.Millisecond, "measured simulation window")
+	warmup := flag.Duration("warmup", 10*time.Millisecond, "warmup before measurement")
+	timescale := flag.Float64("timescale", 100, "retention clock acceleration")
+	hotThreshold := flag.Int("hot-threshold", 16, "RRM hot_threshold (aggressiveness)")
+	coverage := flag.Int("coverage", 4, "RRM LLC coverage rate (2/4/8/16)")
+	regionKB := flag.Uint64("region-kb", 4, "RRM entry coverage size in KB")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	listW := flag.Bool("list-workloads", false, "list workloads and exit")
+	flag.Parse()
+
+	if *listW {
+		for _, w := range rrmpcm.Workloads() {
+			names := make([]string, len(w.Cores))
+			for i, p := range w.Cores {
+				names[i] = p.Name
+			}
+			fmt.Printf("%-11s %s\n", w.Name, strings.Join(names, "+"))
+		}
+		return
+	}
+
+	w, err := rrmpcm.WorkloadByName(*workload)
+	if err != nil {
+		fatal(err)
+	}
+	s, err := parseScheme(*scheme, *hotThreshold, *coverage, *regionKB)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := rrmpcm.DefaultConfig(s, w)
+	cfg.Duration = rrmpcm.Time(duration.Nanoseconds()) * rrmpcm.Nanosecond
+	cfg.Warmup = rrmpcm.Time(warmup.Nanoseconds()) * rrmpcm.Nanosecond
+	cfg.TimeScale = *timescale
+	cfg.Seed = *seed
+
+	start := time.Now()
+	m, err := rrmpcm.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	report(m, time.Since(start))
+}
+
+func parseScheme(name string, hotThreshold, coverage int, regionKB uint64) (rrmpcm.Scheme, error) {
+	if strings.HasPrefix(name, "static-") {
+		n, err := strconv.Atoi(strings.TrimPrefix(name, "static-"))
+		if err != nil || n < 3 || n > 7 {
+			return rrmpcm.Scheme{}, fmt.Errorf("bad static scheme %q (want static-3..static-7)", name)
+		}
+		return rrmpcm.StaticScheme(rrmpcm.WriteMode(n)), nil
+	}
+	if name != "rrm" {
+		return rrmpcm.Scheme{}, fmt.Errorf("unknown scheme %q", name)
+	}
+	cfg := rrmpcm.DefaultRRMConfig()
+	cfg.HotThreshold = hotThreshold
+	cfg.RegionBytes = regionKB << 10
+	cfg = cfg.WithCoverage(coverage, 6<<20)
+	return rrmpcm.RRMSchemeWith(cfg), nil
+}
+
+func report(m rrmpcm.Metrics, wall time.Duration) {
+	fmt.Printf("scheme %s, workload %s: %.1f ms simulated in %.1f s (retention clock x%g)\n\n",
+		m.Scheme, m.Workload, m.SimSeconds*1000, wall.Seconds(), m.TimeScale)
+
+	fmt.Printf("Performance\n")
+	fmt.Printf("  aggregate IPC        %8.3f  (per core:", m.IPC)
+	for _, v := range m.PerCoreIPC {
+		fmt.Printf(" %.3f", v)
+	}
+	fmt.Printf(")\n")
+	fmt.Printf("  instructions         %8d\n", m.Instructions)
+	fmt.Printf("  LLC MPKI             %8.2f\n", m.LLCMPKI)
+	fmt.Printf("  avg read latency     %8s\n", m.AvgReadLatency)
+	fmt.Printf("  row-buffer hit rate  %8.1f%%\n", 100*m.RowBufHitRate)
+	fmt.Printf("  write pauses         %8d\n\n", m.WritePauses)
+
+	fmt.Printf("Memory traffic (measured window)\n")
+	fmt.Printf("  reads/writes/refresh %d / %d / %d\n", m.ReadsServed, m.WritesServed, m.RefreshesServed)
+	for _, mode := range rrmpcm.Modes() {
+		if n := m.WritesByMode[mode]; n > 0 {
+			fmt.Printf("  %-22s %d\n", mode.String()+"s", n)
+		}
+	}
+	fmt.Printf("  short-write fraction %8.1f%%\n\n", 100*m.ShortWriteFraction)
+
+	fmt.Printf("Lifetime (wear rates in block writes/s, real time)\n")
+	fmt.Printf("  demand writes        %8.3g\n", m.WearDemandRate)
+	fmt.Printf("  RRM fast refresh     %8.3g\n", m.WearRRMRate)
+	fmt.Printf("  slow refresh         %8.3g\n", m.WearSlowRate)
+	fmt.Printf("  global refresh       %8.3g\n", m.WearGlobalRate)
+	fmt.Printf("  lifetime             %8.2f years\n\n", m.LifetimeYears)
+
+	fmt.Printf("Energy (over the paper's 5 s window)\n")
+	fmt.Printf("  demand writes        %8.3f J\n", m.EnergyDemandJ)
+	fmt.Printf("  refresh              %8.3f J\n", m.EnergyRefreshJ)
+	fmt.Printf("  total                %8.3f J\n\n", m.EnergyTotalJ)
+
+	if m.Scheme == "RRM" {
+		fmt.Printf("RRM internals\n")
+		fmt.Printf("  registrations        %8d (%d filtered as streaming)\n", m.RRM.Registrations, m.RRM.CleanFiltered)
+		fmt.Printf("  promotions/demotions %d / %d\n", m.RRM.Promotions, m.RRM.Demotions)
+		fmt.Printf("  evictions            %8d (%d blocks flushed)\n", m.RRM.Evictions, m.RRM.EvictionFlush)
+		fmt.Printf("  hot entries/blocks   %d / %d\n", m.HotEntries, m.HotBlocks)
+	}
+	if m.RetentionViolations > 0 {
+		fmt.Printf("RETENTION VIOLATIONS: %d (%s)\n", m.RetentionViolations, m.FirstViolation)
+		os.Exit(1)
+	}
+	fmt.Printf("retention check: clean\n")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rrmsim:", err)
+	os.Exit(2)
+}

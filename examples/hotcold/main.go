@@ -1,0 +1,51 @@
+// Hotcold reproduces the observation that motivates the whole paper
+// (§III-C, Table III): after cache filtering, a small fraction of 4 KB
+// memory regions receives almost all memory writes, at millisecond
+// re-write intervals — short enough that a 2-second-retention write mode
+// is safe for them if somebody tracks and refreshes them.
+//
+// It runs a workload through the cache hierarchy with no memory timing
+// (a functional pass), records every memory write per region, and prints
+// the interval histogram plus the hot-share headline.
+//
+// Run with:
+//
+//	go run ./examples/hotcold                  # GemsFDTD, Table III's subject
+//	go run ./examples/hotcold -workload lbm    # a streaming-heavy contrast
+//	go run ./examples/hotcold -window 200ms    # longer instruction-time window
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"rrmpcm"
+)
+
+func main() {
+	name := flag.String("workload", "GemsFDTD", "workload to analyze")
+	window := flag.Duration("window", 50*time.Millisecond, "instruction-time analysis window")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	flag.Parse()
+
+	w, err := rrmpcm.WorkloadByName(*name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	win := rrmpcm.Time(window.Nanoseconds()) * rrmpcm.Nanosecond
+	table, hotShare, err := rrmpcm.WriteIntervalTable(w, win, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Region write-interval histogram for %s (4 copies, %v window):\n\n", w.Name, *window)
+	fmt.Println(table)
+	fmt.Printf("The hottest 2%% of regions take %.1f%% of all memory writes\n", 100*hotShare)
+	fmt.Println("(paper §III-C observes ~2% of regions taking up to 97.3%).")
+	fmt.Println()
+	fmt.Println("Regions in the millisecond tiers re-write their blocks far more")
+	fmt.Println("often than the 2.01 s retention of a 3-SETs-Write expires — they")
+	fmt.Println("are the ones the Region Retention Monitor steers to fast writes.")
+}

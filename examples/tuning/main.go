@@ -1,0 +1,61 @@
+// Tuning demonstrates the RRM's aggressiveness control (paper §IV-H,
+// Figure 11): sweeping hot_threshold trades lifetime for performance.
+// A low threshold promotes regions to "hot" after fewer dirty writes, so
+// more memory writes run in the fast 2-second-retention mode — higher
+// IPC, more selective-refresh wear. A high threshold is conservative.
+//
+// Run with:
+//
+//	go run ./examples/tuning
+//	go run ./examples/tuning -workload MIX_2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"rrmpcm"
+)
+
+func main() {
+	name := flag.String("workload", "GemsFDTD", "workload to tune on")
+	flag.Parse()
+
+	w, err := rrmpcm.WorkloadByName(*name)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(scheme rrmpcm.Scheme) rrmpcm.Metrics {
+		cfg := rrmpcm.DefaultConfig(scheme, w)
+		cfg.Duration = 10 * rrmpcm.Millisecond
+		cfg.Warmup = 4 * rrmpcm.Millisecond
+		cfg.TimeScale = 200
+		m, err := rrmpcm.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return m
+	}
+
+	// The two static extremes bracket the trade-off space.
+	s7 := run(rrmpcm.StaticScheme(rrmpcm.Mode7SETs))
+	s3 := run(rrmpcm.StaticScheme(rrmpcm.Mode3SETs))
+	fmt.Printf("workload %s: Static-7 IPC %.3f (%.1fy), Static-3 IPC %.3f (%.2fy)\n\n",
+		w.Name, s7.IPC, s7.LifetimeYears, s3.IPC, s3.LifetimeYears)
+
+	fmt.Printf("%-14s %10s %12s %13s %12s\n",
+		"hot_threshold", "IPC", "vs Static-7", "short writes", "lifetime")
+	for _, threshold := range []int{8, 16, 32, 64} {
+		cfg := rrmpcm.DefaultRRMConfig()
+		cfg.HotThreshold = threshold
+		m := run(rrmpcm.RRMSchemeWith(cfg))
+		fmt.Printf("%-14d %10.3f %+11.1f%% %12.1f%% %9.2f y\n",
+			threshold, m.IPC, 100*(m.IPC/s7.IPC-1),
+			100*m.ShortWriteFraction, m.LifetimeYears)
+	}
+	fmt.Println("\nLower thresholds are more aggressive: more fast writes, more")
+	fmt.Println("selective-refresh wear. The paper defaults to 16 and suggests 8")
+	fmt.Println("for users who value performance over lifetime (§VI-D).")
+}

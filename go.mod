@@ -1,0 +1,3 @@
+module rrmpcm
+
+go 1.22

@@ -1,0 +1,218 @@
+package cache
+
+import (
+	"testing"
+
+	"rrmpcm/internal/timing"
+)
+
+// smallHierarchy returns a scaled-down hierarchy so tests can force
+// evictions without megabytes of traffic.
+func smallHierarchy(t *testing.T) *Hierarchy {
+	t.Helper()
+	cpu := timing.CPUCycle
+	cfg := HierarchyConfig{
+		Cores: 2,
+		L1D:   Config{Name: "L1D", SizeBytes: 1 << 10, Ways: 2, LineBytes: 64, HitLatency: 2 * cpu, MSHRs: 8},
+		L1I:   Config{Name: "L1I", SizeBytes: 1 << 10, Ways: 2, LineBytes: 64, HitLatency: 2 * cpu, MSHRs: 8},
+		L2:    Config{Name: "L2", SizeBytes: 4 << 10, Ways: 4, LineBytes: 64, HitLatency: 12 * cpu, MSHRs: 12},
+		LLC:   Config{Name: "LLC", SizeBytes: 16 << 10, Ways: 8, LineBytes: 64, HitLatency: 35 * cpu, MSHRs: 32},
+	}
+	h, err := NewHierarchy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestDefaultHierarchyConfig(t *testing.T) {
+	cfg := DefaultHierarchyConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.LLC.SizeBytes != 6<<20 || cfg.LLC.Ways != 24 {
+		t.Errorf("LLC config = %+v, want 6MB 24-way", cfg.LLC)
+	}
+}
+
+func TestHierarchyValidate(t *testing.T) {
+	cfg := DefaultHierarchyConfig()
+	cfg.Cores = 0
+	if _, err := NewHierarchy(cfg); err == nil {
+		t.Error("0 cores accepted")
+	}
+	cfg = DefaultHierarchyConfig()
+	cfg.L1D.LineBytes = 32
+	if _, err := NewHierarchy(cfg); err == nil {
+		t.Error("mismatched line sizes accepted")
+	}
+}
+
+func TestColdMissGoesToMemory(t *testing.T) {
+	h := smallHierarchy(t)
+	r := h.Access(0, 0x10000, Load, false)
+	if r.Hit != InMemory {
+		t.Errorf("cold access hit at %v", r.Hit)
+	}
+	if r.MemReadAddr != 0x10000 {
+		t.Errorf("MemReadAddr = %#x", r.MemReadAddr)
+	}
+	wantLat := (2 + 12 + 35) * timing.CPUCycle
+	if r.Latency != wantLat {
+		t.Errorf("latency = %v, want %v", r.Latency, wantLat)
+	}
+}
+
+func TestHitLevels(t *testing.T) {
+	h := smallHierarchy(t)
+	h.Access(0, 0x10000, Load, false)
+	r := h.Access(0, 0x10000, Load, false)
+	if r.Hit != InL1 {
+		t.Errorf("second access hit at %v, want L1", r.Hit)
+	}
+	if r.Latency != 2*timing.CPUCycle {
+		t.Errorf("L1 hit latency = %v", r.Latency)
+	}
+	// Another core misses its own L1/L2 but hits the shared LLC.
+	r = h.Access(1, 0x10000, Load, false)
+	if r.Hit != InLLC {
+		t.Errorf("cross-core access hit at %v, want LLC", r.Hit)
+	}
+}
+
+func TestIFetchUsesICache(t *testing.T) {
+	h := smallHierarchy(t)
+	h.Access(0, 0x20000, Load, true)
+	// Same address through the D-cache path: must miss L1 (separate
+	// arrays) but hit L2.
+	r := h.Access(0, 0x20000, Load, false)
+	if r.Hit != InL2 {
+		t.Errorf("d-side access after i-fetch hit at %v, want L2", r.Hit)
+	}
+}
+
+// dirtyLineInLLC stores to addr and then evicts it core-side so the dirt
+// lands in the LLC, returning the number of registrations seen.
+func TestWritebackCascadeAndRegistration(t *testing.T) {
+	h := smallHierarchy(t)
+	addr := uint64(0)
+	h.Access(0, addr, Store, false)
+
+	// Evict addr from L1 (2 ways, 8 sets, stride 512B within 1KB L1)
+	// and then from L2 (4 ways, 16 sets, stride 1KB within 4KB L2).
+	h.Access(0, addr+512, Load, false)
+	h.Access(0, addr+1024, Load, false) // L1 evicts dirty addr -> L2
+
+	// Now force addr out of L2: fill its L2 set with 4 more lines.
+	regsBefore := 0
+	var totalRegs int
+	for i := 1; i <= 4; i++ {
+		r := h.Access(0, addr+uint64(i)*1024, Load, false)
+		totalRegs += r.NumRegistrations
+	}
+	if totalRegs == 0 {
+		t.Fatalf("no LLC write registration after forcing L2 eviction (before: %d)", regsBefore)
+	}
+}
+
+func TestRegistrationWasDirtyBit(t *testing.T) {
+	h := smallHierarchy(t)
+	// Drive a dirty line into the LLC twice; the second arrival must
+	// report WasDirty=true. Use writebackToLLC directly via the same
+	// public path: store, evict, re-store, evict.
+	var regs []Registration
+	evictFromCore := func(addr uint64) {
+		h.Access(0, addr, Store, false)
+		// Evict from L1: same L1 set = stride 512.
+		h.Access(0, addr+512, Load, false)
+		h.Access(0, addr+2*512, Load, false)
+		// Evict from L2: same L2 set = stride 1024.
+		for i := 1; i <= 4; i++ {
+			r := h.Access(0, addr+uint64(i)*1024, Load, false)
+			for j := 0; j < r.NumRegistrations; j++ {
+				regs = append(regs, r.Registrations[j])
+			}
+		}
+	}
+	evictFromCore(0)
+	evictFromCore(0)
+	var forAddr []Registration
+	for _, r := range regs {
+		if r.Addr == 0 {
+			forAddr = append(forAddr, r)
+		}
+	}
+	if len(forAddr) < 2 {
+		t.Fatalf("saw %d registrations for line 0, want >=2 (%v)", len(forAddr), regs)
+	}
+	if forAddr[0].WasDirty {
+		t.Error("first LLC write reported WasDirty=true")
+	}
+	if !forAddr[1].WasDirty {
+		t.Error("second LLC write reported WasDirty=false, want true (streaming filter bit)")
+	}
+}
+
+func TestLLCDirtyVictimBecomesMemWrite(t *testing.T) {
+	h := smallHierarchy(t)
+	// Dirty a line all the way into the LLC, then thrash the LLC set so
+	// the dirty line is evicted to memory. LLC: 8 ways, 32 sets,
+	// stride = 32*64 = 2KB.
+	target := uint64(0)
+	h.Access(0, target, Store, false)
+	h.Access(0, target+512, Load, false)
+	h.Access(0, target+1024, Load, false) // dirty into L2
+	for i := 1; i <= 4; i++ {
+		h.Access(0, target+uint64(i)*1024, Load, false) // dirty into LLC
+	}
+	memWrites := 0
+	for i := 1; i <= 12; i++ {
+		r := h.Access(1, target+uint64(i)*2048, Load, false)
+		memWrites += r.NumMemWrites
+	}
+	if memWrites == 0 {
+		t.Error("thrashing LLC never produced a memory write for the dirty victim")
+	}
+}
+
+func TestMPKIAccounting(t *testing.T) {
+	h := smallHierarchy(t)
+	if h.LLCMPKI() != 0 {
+		t.Error("MPKI with no instructions should be 0")
+	}
+	h.CountInstructions(1000)
+	h.Access(0, 0x1000, Load, false) // 1 LLC miss
+	h.Access(0, 0x1000, Load, false) // L1 hit
+	if got := h.LLCMPKI(); got != 1.0 {
+		t.Errorf("MPKI = %v, want 1.0", got)
+	}
+	if h.Instructions() != 1000 {
+		t.Errorf("Instructions = %d", h.Instructions())
+	}
+}
+
+func TestFlushDirty(t *testing.T) {
+	h := smallHierarchy(t)
+	h.Access(0, 0, Store, false)
+	h.Access(1, 4096, Store, false)
+	h.Access(0, 8192, Load, false)
+	dirty := h.FlushDirty()
+	if len(dirty) != 2 {
+		t.Fatalf("flushed %d dirty blocks, want 2: %v", len(dirty), dirty)
+	}
+	seen := map[uint64]bool{}
+	for _, a := range dirty {
+		seen[a] = true
+	}
+	if !seen[0] || !seen[4096] {
+		t.Errorf("flushed addresses %v, want 0 and 4096", dirty)
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	for l, want := range map[Level]string{InL1: "L1", InL2: "L2", InLLC: "LLC", InMemory: "memory"} {
+		if l.String() != want {
+			t.Errorf("Level %d = %q, want %q", int(l), l.String(), want)
+		}
+	}
+}

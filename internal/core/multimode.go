@@ -1,0 +1,411 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"rrmpcm/internal/pcm"
+	"rrmpcm/internal/timing"
+)
+
+// MultiModeRRM is the extension the paper's two-mode design points at
+// (§IV-A notes two modes were chosen "for implementation simplicity"):
+// regions are graded into tiers by their dirty-write counter, and each
+// tier writes with a different point on the Table I latency/retention
+// curve. A region that accumulates WarmThreshold dirty writes uses the
+// mid mode (5-SETs, 104.4 s retention, refreshed at ~104 s); past
+// HotThreshold it uses the fast mode (3-SETs, 2.01 s retention, 2 s
+// refresh) exactly like the base RRM. Mid-tier refreshes are ~50x rarer
+// than fast ones, so lukewarm regions get most of the write-latency
+// benefit at a fraction of the refresh wear.
+type MultiModeConfig struct {
+	Sets        int
+	Ways        int
+	RegionBytes uint64
+	BlockBytes  uint64
+
+	// WarmThreshold promotes a region to the mid tier; HotThreshold to
+	// the fast tier. 0 < WarmThreshold < HotThreshold.
+	WarmThreshold int
+	HotThreshold  int
+
+	AccessLatency timing.Time
+
+	FastMode pcm.WriteMode // tier 2 (default 3-SETs)
+	MidMode  pcm.WriteMode // tier 1 (default 5-SETs)
+	LongMode pcm.WriteMode // tier 0 (default 7-SETs)
+
+	// Refresh intervals per write tier; each must undercut its mode's
+	// retention. The simulator's caller scales these by TimeScale.
+	FastRefreshInterval timing.Time
+	MidRefreshInterval  timing.Time
+
+	DecayInterval timing.Time
+	DecayBits     int
+
+	// RefreshSampling: see RRMConfig.RefreshSampling; Scale sets it.
+	RefreshSampling uint64
+}
+
+// DefaultMultiModeConfig returns the three-tier extension of the Table IV
+// monitor with paper-scale constants.
+func DefaultMultiModeConfig() MultiModeConfig {
+	return MultiModeConfig{
+		Sets:                256,
+		Ways:                24,
+		RegionBytes:         4 << 10,
+		BlockBytes:          64,
+		WarmThreshold:       8,
+		HotThreshold:        16,
+		AccessLatency:       4 * timing.CPUCycle,
+		FastMode:            pcm.Mode3SETs,
+		MidMode:             pcm.Mode5SETs,
+		LongMode:            pcm.Mode7SETs,
+		FastRefreshInterval: 2 * timing.Second,
+		MidRefreshInterval:  103 * timing.Second, // under the 104.4 s retention
+		DecayInterval:       125 * timing.Millisecond,
+		DecayBits:           4,
+	}
+}
+
+// Scale divides the periodic constants by k (the simulator's TimeScale)
+// and samples the simulated refresh stream 1-in-k so its bandwidth stays
+// at the real density (see RRMConfig.RefreshSampling).
+func (c MultiModeConfig) Scale(k float64) MultiModeConfig {
+	c.FastRefreshInterval = timing.Time(float64(c.FastRefreshInterval) / k)
+	c.MidRefreshInterval = timing.Time(float64(c.MidRefreshInterval) / k)
+	c.DecayInterval = timing.Time(float64(c.DecayInterval) / k)
+	c.RefreshSampling = uint64(k)
+	return c
+}
+
+// RefreshSampling exposes the sampling factor to the metrics pipeline.
+func (m *MultiModeRRM) RefreshSampling() uint64 {
+	if m.cfg.RefreshSampling <= 1 {
+		return 1
+	}
+	return m.cfg.RefreshSampling
+}
+
+// Validate checks the configuration.
+func (c MultiModeConfig) Validate() error {
+	if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 || c.Ways <= 0 {
+		return fmt.Errorf("core: multimode geometry %dx%d invalid", c.Sets, c.Ways)
+	}
+	if c.RegionBytes == 0 || c.RegionBytes&(c.RegionBytes-1) != 0 ||
+		c.BlockBytes == 0 || c.RegionBytes%c.BlockBytes != 0 ||
+		int(c.RegionBytes/c.BlockBytes) > maxBlocksPerRegion {
+		return fmt.Errorf("core: multimode region/block %d/%d invalid", c.RegionBytes, c.BlockBytes)
+	}
+	if c.WarmThreshold <= 0 || c.HotThreshold <= c.WarmThreshold {
+		return fmt.Errorf("core: thresholds warm %d / hot %d invalid", c.WarmThreshold, c.HotThreshold)
+	}
+	if !(c.FastMode < c.MidMode && c.MidMode < c.LongMode) {
+		return fmt.Errorf("core: modes must be ordered fast < mid < long")
+	}
+	if c.FastRefreshInterval <= 0 || c.MidRefreshInterval <= 0 ||
+		c.DecayInterval <= 0 || c.DecayBits <= 0 {
+		return fmt.Errorf("core: multimode periodic constants invalid")
+	}
+	return nil
+}
+
+// mmEntry extends the RRM entry with a second vector: vecFast marks
+// blocks written with the fast mode, vecMid with the mid mode.
+type mmEntry struct {
+	valid        bool
+	tag          uint64
+	tier         int // 0 cold, 1 warm, 2 hot
+	dirtyWrites  int
+	decayCounter int
+	gen          int
+	vecFast      [vectorWords]uint64
+	vecMid       [vectorWords]uint64
+	lastUse      uint64
+}
+
+func vGet(v *[vectorWords]uint64, i int) bool { return v[i>>6]&(1<<(uint(i)&63)) != 0 }
+func vSet(v *[vectorWords]uint64, i int)      { v[i>>6] |= 1 << (uint(i) & 63) }
+func vClear(v *[vectorWords]uint64)           { *v = [vectorWords]uint64{} }
+
+// MultiModeStats counts the extension's activity.
+type MultiModeStats struct {
+	Registrations                              uint64
+	CleanFiltered                              uint64
+	WarmPromotions, HotPromotions              uint64
+	Demotions                                  uint64
+	Evictions                                  uint64
+	FastRefreshes                              uint64
+	MidRefreshes                               uint64
+	SlowRefreshes                              uint64
+	FastDecisions, MidDecisions, LongDecisions uint64
+}
+
+// MultiModeRRM implements WritePolicy with three write tiers.
+type MultiModeRRM struct {
+	cfg    MultiModeConfig
+	issuer RefreshIssuer
+	sets   [][]mmEntry
+
+	setMask     uint64
+	regionShift uint
+	blockShift  uint
+	blocksPer   int
+	decayWrap   int
+	useClock    uint64
+
+	eq    *timing.EventQueue
+	stats MultiModeStats
+}
+
+// NewMultiModeRRM builds the monitor; issuer must not be nil.
+func NewMultiModeRRM(cfg MultiModeConfig, issuer RefreshIssuer) (*MultiModeRRM, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if issuer == nil {
+		issuer = NopIssuer{}
+	}
+	m := &MultiModeRRM{
+		cfg:         cfg,
+		issuer:      issuer,
+		sets:        make([][]mmEntry, cfg.Sets),
+		setMask:     uint64(cfg.Sets - 1),
+		regionShift: uint(bits.TrailingZeros64(cfg.RegionBytes)),
+		blockShift:  uint(bits.TrailingZeros64(cfg.BlockBytes)),
+		blocksPer:   int(cfg.RegionBytes / cfg.BlockBytes),
+		decayWrap:   1 << cfg.DecayBits,
+	}
+	for i := range m.sets {
+		m.sets[i] = make([]mmEntry, cfg.Ways)
+	}
+	return m, nil
+}
+
+// SetIssuer lets the simulator wire its refresh path after construction
+// (custom policies are built before the memory controller exists).
+func (m *MultiModeRRM) SetIssuer(iss RefreshIssuer) { m.issuer = iss }
+
+// Stats returns a copy of the counters.
+func (m *MultiModeRRM) Stats() MultiModeStats { return m.stats }
+
+// Name implements WritePolicy.
+func (m *MultiModeRRM) Name() string { return "MultiModeRRM" }
+
+// DecisionLatency implements WritePolicy.
+func (m *MultiModeRRM) DecisionLatency() timing.Time { return m.cfg.AccessLatency }
+
+// GlobalRefreshMode implements WritePolicy.
+func (m *MultiModeRRM) GlobalRefreshMode() pcm.WriteMode { return m.cfg.LongMode }
+
+func (m *MultiModeRRM) lookup(region uint64) *mmEntry {
+	set := m.sets[region&m.setMask]
+	for i := range set {
+		if set[i].valid && set[i].tag == region {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// RegisterLLCWrite implements WritePolicy: the same dirty-write counting
+// as the base RRM, with two promotion thresholds.
+func (m *MultiModeRRM) RegisterLLCWrite(addr uint64, wasDirty bool, now timing.Time) {
+	m.stats.Registrations++
+	if !wasDirty {
+		m.stats.CleanFiltered++
+		return
+	}
+	region := addr >> m.regionShift
+	e := m.lookup(region)
+	if e == nil {
+		e = m.allocate(region)
+	}
+	m.useClock++
+	e.lastUse = m.useClock
+
+	if e.dirtyWrites < m.cfg.HotThreshold {
+		e.dirtyWrites++
+		switch {
+		case e.dirtyWrites == m.cfg.HotThreshold && e.tier < 2:
+			e.tier = 2
+			e.gen++
+			m.stats.HotPromotions++
+			m.armTimer(e, 2)
+		case e.dirtyWrites == m.cfg.WarmThreshold && e.tier < 1:
+			e.tier = 1
+			e.gen++
+			m.stats.WarmPromotions++
+			m.armTimer(e, 1)
+		}
+	}
+	block := int((addr >> m.blockShift) & uint64(m.blocksPer-1))
+	switch e.tier {
+	case 2:
+		vSet(&e.vecFast, block)
+	case 1:
+		vSet(&e.vecMid, block)
+	}
+}
+
+// allocate installs region, flushing an evicted live entry.
+func (m *MultiModeRRM) allocate(region uint64) *mmEntry {
+	set := m.sets[region&m.setMask]
+	victim := -1
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		oldest := ^uint64(0)
+		for i := range set {
+			if set[i].lastUse < oldest {
+				oldest = set[i].lastUse
+				victim = i
+			}
+		}
+		m.stats.Evictions++
+		m.flush(&set[victim])
+	}
+	m.useClock++
+	set[victim] = mmEntry{valid: true, tag: region, lastUse: m.useClock}
+	return &set[victim]
+}
+
+// flush rewrites every tracked short/mid block with the long mode and
+// clears the entry's tier state.
+func (m *MultiModeRRM) flush(e *mmEntry) {
+	if !e.valid {
+		return
+	}
+	base := e.tag << m.regionShift
+	for i := 0; i < m.blocksPer; i++ {
+		if vGet(&e.vecFast, i) || vGet(&e.vecMid, i) {
+			m.issuer.IssueRefresh(base+uint64(i)<<m.blockShift, m.cfg.LongMode, pcm.WearSlowRefresh)
+			m.stats.SlowRefreshes++
+		}
+	}
+	vClear(&e.vecFast)
+	vClear(&e.vecMid)
+	e.tier = 0
+	e.gen++
+}
+
+// DecideWriteMode implements WritePolicy.
+func (m *MultiModeRRM) DecideWriteMode(addr uint64, now timing.Time) pcm.WriteMode {
+	if e := m.lookup(addr >> m.regionShift); e != nil {
+		block := int((addr >> m.blockShift) & uint64(m.blocksPer-1))
+		if vGet(&e.vecFast, block) {
+			m.stats.FastDecisions++
+			return m.cfg.FastMode
+		}
+		if vGet(&e.vecMid, block) {
+			m.stats.MidDecisions++
+			return m.cfg.MidMode
+		}
+	}
+	m.stats.LongDecisions++
+	return m.cfg.LongMode
+}
+
+// armTimer starts the per-entry refresh timer for the given tier (same
+// per-entry periodic design as the base RRM; see RRM.armEntryTimer).
+func (m *MultiModeRRM) armTimer(e *mmEntry, tier int) {
+	if m.eq == nil {
+		return
+	}
+	interval := m.cfg.FastRefreshInterval
+	if tier == 1 {
+		interval = m.cfg.MidRefreshInterval
+	}
+	tag, gen := e.tag, e.gen
+	var fire func(now timing.Time)
+	fire = func(now timing.Time) {
+		if !e.valid || e.tag != tag || e.gen != gen || e.tier < tier {
+			return
+		}
+		m.refreshTier(e, tier)
+		m.eq.Schedule(now+interval, fire)
+	}
+	jitter := timing.Time((tag * 0x9E3779B97F4A7C15) % uint64(interval/64+1))
+	m.eq.Schedule(m.eq.Now()+interval-jitter, fire)
+}
+
+// refreshTier re-writes the tier's tracked blocks with its mode.
+func (m *MultiModeRRM) refreshTier(e *mmEntry, tier int) {
+	base := e.tag << m.regionShift
+	vec, mode := &e.vecMid, m.cfg.MidMode
+	if tier == 2 {
+		vec, mode = &e.vecFast, m.cfg.FastMode
+	}
+	for i := 0; i < m.blocksPer; i++ {
+		if vGet(vec, i) {
+			addr := base + uint64(i)<<m.blockShift
+			if !SampledBlock(addr, m.cfg.RefreshSampling) {
+				continue
+			}
+			m.issuer.IssueRefresh(addr, mode, pcm.WearRRMRefresh)
+			if tier == 2 {
+				m.stats.FastRefreshes++
+			} else {
+				m.stats.MidRefreshes++
+			}
+		}
+	}
+}
+
+// DecayTick advances the cyclic decay counters; on wrap an entry that no
+// longer sustains its tier's threshold is demoted wholesale (flush to
+// long mode), mirroring the base RRM's conservative demotion.
+func (m *MultiModeRRM) DecayTick(now timing.Time) {
+	for s := range m.sets {
+		for i := range m.sets[s] {
+			e := &m.sets[s][i]
+			if !e.valid {
+				continue
+			}
+			e.decayCounter++
+			if e.decayCounter < m.decayWrap {
+				continue
+			}
+			e.decayCounter = 0
+			threshold := m.cfg.HotThreshold
+			if e.tier == 1 {
+				threshold = m.cfg.WarmThreshold
+			}
+			if e.tier > 0 && e.dirtyWrites >= threshold {
+				e.dirtyWrites /= 2
+				continue
+			}
+			if e.tier > 0 {
+				m.stats.Demotions++
+				m.flush(e)
+			}
+		}
+	}
+}
+
+// Start attaches the monitor to the simulation clock: decay ticks plus
+// timers for already-promoted entries.
+func (m *MultiModeRRM) Start(eq *timing.EventQueue) {
+	m.eq = eq
+	for s := range m.sets {
+		for i := range m.sets[s] {
+			e := &m.sets[s][i]
+			if e.valid && e.tier >= 1 {
+				m.armTimer(e, 1)
+			}
+			if e.valid && e.tier == 2 {
+				m.armTimer(e, 2)
+			}
+		}
+	}
+	var decay func(now timing.Time)
+	decay = func(now timing.Time) {
+		m.DecayTick(now)
+		eq.Schedule(now+m.cfg.DecayInterval, decay)
+	}
+	eq.Schedule(eq.Now()+m.cfg.DecayInterval, decay)
+}

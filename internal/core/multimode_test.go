@@ -1,0 +1,216 @@
+package core
+
+import (
+	"testing"
+
+	"rrmpcm/internal/pcm"
+	"rrmpcm/internal/timing"
+)
+
+func newMM(t *testing.T, mutate func(*MultiModeConfig)) (*MultiModeRRM, *recordingIssuer) {
+	t.Helper()
+	cfg := DefaultMultiModeConfig()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	iss := &recordingIssuer{}
+	m, err := NewMultiModeRRM(cfg, iss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, iss
+}
+
+func TestMultiModeConfigValidation(t *testing.T) {
+	if err := DefaultMultiModeConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*MultiModeConfig){
+		func(c *MultiModeConfig) { c.Sets = 100 },
+		func(c *MultiModeConfig) { c.Ways = 0 },
+		func(c *MultiModeConfig) { c.RegionBytes = 3000 },
+		func(c *MultiModeConfig) { c.WarmThreshold = 0 },
+		func(c *MultiModeConfig) { c.HotThreshold = c.WarmThreshold },
+		func(c *MultiModeConfig) { c.MidMode = pcm.Mode3SETs },
+		func(c *MultiModeConfig) { c.FastRefreshInterval = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultMultiModeConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestMultiModeScale(t *testing.T) {
+	cfg := DefaultMultiModeConfig().Scale(100)
+	if cfg.FastRefreshInterval != 20*timing.Millisecond {
+		t.Errorf("scaled fast interval = %v", cfg.FastRefreshInterval)
+	}
+	if cfg.MidRefreshInterval != 1030*timing.Millisecond {
+		t.Errorf("scaled mid interval = %v", cfg.MidRefreshInterval)
+	}
+}
+
+func TestMultiModeTiering(t *testing.T) {
+	m, _ := newMM(t, nil)
+	base := uint64(0x40000)
+
+	// Cold: long mode.
+	if mode := m.DecideWriteMode(base, 0); mode != pcm.Mode7SETs {
+		t.Errorf("cold mode = %v", mode)
+	}
+	// 8 dirty writes: warm tier; blocks written while warm use mid mode.
+	for i := 0; i < 8; i++ {
+		m.RegisterLLCWrite(base, true, 0)
+	}
+	if m.Stats().WarmPromotions != 1 {
+		t.Fatal("no warm promotion")
+	}
+	m.RegisterLLCWrite(base+64, true, 0)
+	if mode := m.DecideWriteMode(base+64, 0); mode != pcm.Mode5SETs {
+		t.Errorf("warm block mode = %v, want 5-SETs", mode)
+	}
+	// Reaching 16: hot tier; new blocks use fast mode, old mid blocks
+	// keep their mid marking until rewritten.
+	for i := 0; i < 7; i++ {
+		m.RegisterLLCWrite(base, true, 0)
+	}
+	if m.Stats().HotPromotions != 1 {
+		t.Fatal("no hot promotion")
+	}
+	m.RegisterLLCWrite(base+128, true, 0)
+	if mode := m.DecideWriteMode(base+128, 0); mode != pcm.Mode3SETs {
+		t.Errorf("hot block mode = %v, want 3-SETs", mode)
+	}
+	if mode := m.DecideWriteMode(base+64, 0); mode != pcm.Mode5SETs {
+		t.Errorf("mid block after hot promotion = %v, want 5-SETs", mode)
+	}
+	s := m.Stats()
+	if s.FastDecisions != 1 || s.MidDecisions != 2 || s.LongDecisions != 1 {
+		t.Errorf("decision split = %+v", s)
+	}
+}
+
+func TestMultiModeStreamingFilter(t *testing.T) {
+	m, _ := newMM(t, nil)
+	for i := 0; i < 100; i++ {
+		m.RegisterLLCWrite(uint64(i)*64, false, 0)
+	}
+	s := m.Stats()
+	if s.CleanFiltered != 100 || s.WarmPromotions != 0 {
+		t.Errorf("streaming filter broken: %+v", s)
+	}
+}
+
+func TestMultiModeRefreshTiers(t *testing.T) {
+	eq := timing.NewEventQueue()
+	cfg := DefaultMultiModeConfig()
+	cfg.FastRefreshInterval = 100 * timing.Microsecond
+	cfg.MidRefreshInterval = 400 * timing.Microsecond
+	cfg.DecayInterval = timing.Second // keep decay out of the way
+	iss := &recordingIssuer{}
+	m, err := NewMultiModeRRM(cfg, iss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := uint64(0x100000)
+	// Warm the region and mark one mid block.
+	for i := 0; i < 8; i++ {
+		m.RegisterLLCWrite(base, true, 0)
+	}
+	m.RegisterLLCWrite(base+64, true, 0)
+	// Heat it and mark one fast block.
+	for i := 0; i < 8; i++ {
+		m.RegisterLLCWrite(base, true, 0)
+	}
+	m.RegisterLLCWrite(base+128, true, 0)
+
+	m.Start(eq)
+	eq.RunUntil(450 * timing.Microsecond)
+	s := m.Stats()
+	// Fast tier fires ~4x in 450us (interval 100us); mid tier ~1x.
+	if s.FastRefreshes < 3 {
+		t.Errorf("fast refreshes = %d, want >= 3", s.FastRefreshes)
+	}
+	if s.MidRefreshes < 1 {
+		t.Errorf("mid refreshes = %d, want >= 1", s.MidRefreshes)
+	}
+	if s.FastRefreshes <= s.MidRefreshes {
+		t.Errorf("fast tier (%d) should refresh more often than mid (%d)",
+			s.FastRefreshes, s.MidRefreshes)
+	}
+	// The refresh modes must match the tiers.
+	for _, ref := range iss.refreshes {
+		if ref.kind != pcm.WearRRMRefresh {
+			continue
+		}
+		if ref.mode != pcm.Mode3SETs && ref.mode != pcm.Mode5SETs {
+			t.Errorf("refresh with mode %v", ref.mode)
+		}
+	}
+}
+
+func TestMultiModeDecayDemotes(t *testing.T) {
+	m, iss := newMM(t, nil)
+	base := uint64(0x200000)
+	for i := 0; i < 16; i++ {
+		m.RegisterLLCWrite(base, true, 0)
+	}
+	m.RegisterLLCWrite(base+64, true, 0) // one fast block
+	// Two full decay wraps with no further writes: halved counter (8)
+	// still meets... the hot threshold is 16, counter 16 -> halve to 8;
+	// next wrap 8 < 16 -> demote.
+	for i := 0; i < 32; i++ {
+		m.DecayTick(0)
+	}
+	if m.Stats().Demotions != 1 {
+		t.Errorf("demotions = %d, want 1", m.Stats().Demotions)
+	}
+	slow := 0
+	for _, ref := range iss.refreshes {
+		if ref.kind == pcm.WearSlowRefresh {
+			slow++
+		}
+	}
+	if slow == 0 {
+		t.Error("demotion issued no slow refreshes")
+	}
+	if mode := m.DecideWriteMode(base+64, 0); mode != pcm.Mode7SETs {
+		t.Error("demoted block still fast")
+	}
+}
+
+func TestMultiModeEvictionFlush(t *testing.T) {
+	m, _ := newMM(t, func(c *MultiModeConfig) { c.Sets = 1; c.Ways = 2 })
+	for r := 0; r < 3; r++ {
+		base := uint64(r) * 4096
+		for i := 0; i < 16; i++ {
+			m.RegisterLLCWrite(base, true, 0)
+		}
+		m.RegisterLLCWrite(base+64, true, 0)
+	}
+	s := m.Stats()
+	if s.Evictions != 1 {
+		t.Fatalf("evictions = %d", s.Evictions)
+	}
+	if s.SlowRefreshes == 0 {
+		t.Error("eviction flushed nothing")
+	}
+}
+
+func TestMultiModeInterface(t *testing.T) {
+	var _ WritePolicy = &MultiModeRRM{}
+	m, _ := newMM(t, nil)
+	if m.Name() != "MultiModeRRM" {
+		t.Error("name")
+	}
+	if m.GlobalRefreshMode() != pcm.Mode7SETs {
+		t.Error("global mode")
+	}
+	if m.DecisionLatency() != 4*timing.CPUCycle {
+		t.Error("latency")
+	}
+	m.SetIssuer(NopIssuer{}) // must not panic
+}

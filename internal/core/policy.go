@@ -1,0 +1,85 @@
+// Package core implements the paper's contribution: the Region Retention
+// Monitor (RRM), a set-associative structure between the LLC and the
+// memory controller that learns which 4 KB memory regions are being
+// written with high temporal locality and steers their writes to fast,
+// short-retention 3-SETs-Writes while everything else uses slow,
+// long-retention 7-SETs-Writes. The package also provides the Static-N
+// baseline policies of Table VI behind a common WritePolicy interface.
+package core
+
+import (
+	"fmt"
+
+	"rrmpcm/internal/pcm"
+	"rrmpcm/internal/timing"
+)
+
+// WritePolicy selects a write mode for every memory write request and
+// observes LLC write registrations. It is the pluggable point between the
+// LLC and the memory controller (paper Figure 5); users of the public API
+// can supply their own implementation.
+type WritePolicy interface {
+	// Name identifies the policy in reports ("RRM", "Static-7-SETs").
+	Name() string
+
+	// RegisterLLCWrite observes one LLC write operation: an L2 dirty
+	// victim written into LLC line addr, with wasDirty telling whether
+	// that LLC line was already dirty (the streaming-write filter bit).
+	RegisterLLCWrite(addr uint64, wasDirty bool, now timing.Time)
+
+	// DecideWriteMode chooses the write mode for a memory write
+	// request to addr. DecisionLatency reports the lookup cost added
+	// to the request path.
+	DecideWriteMode(addr uint64, now timing.Time) pcm.WriteMode
+
+	// DecisionLatency is the lookup latency added to each memory write
+	// decision (4 CPU cycles for RRM, zero for static policies).
+	DecisionLatency() timing.Time
+
+	// GlobalRefreshMode returns the write mode of the device's built-in
+	// global refresh stream under this policy, which fixes the global
+	// refresh interval (its retention time).
+	GlobalRefreshMode() pcm.WriteMode
+}
+
+// Static is the Static-N-SETs baseline: every write uses one fixed mode
+// and the device globally refreshes every retention period of that mode.
+type Static struct {
+	mode pcm.WriteMode
+}
+
+// NewStatic returns the Static-N policy for the given mode.
+func NewStatic(mode pcm.WriteMode) *Static {
+	if !mode.Valid() {
+		panic(fmt.Sprintf("core: invalid static mode %d", int(mode)))
+	}
+	return &Static{mode: mode}
+}
+
+// Name implements WritePolicy.
+func (s *Static) Name() string { return fmt.Sprintf("Static-%d-SETs", s.mode.Sets()) }
+
+// RegisterLLCWrite implements WritePolicy (statics ignore registrations).
+func (s *Static) RegisterLLCWrite(uint64, bool, timing.Time) {}
+
+// DecideWriteMode implements WritePolicy.
+func (s *Static) DecideWriteMode(uint64, timing.Time) pcm.WriteMode { return s.mode }
+
+// DecisionLatency implements WritePolicy.
+func (s *Static) DecisionLatency() timing.Time { return 0 }
+
+// GlobalRefreshMode implements WritePolicy.
+func (s *Static) GlobalRefreshMode() pcm.WriteMode { return s.mode }
+
+// RefreshIssuer accepts the selective refresh requests RRM generates.
+// The simulator's implementation feeds the memory controller's RRM
+// Refresh Queue, absorbing transient queue-full backpressure.
+type RefreshIssuer interface {
+	IssueRefresh(addr uint64, mode pcm.WriteMode, kind pcm.WearKind)
+}
+
+// NopIssuer discards refreshes (unit tests of bookkeeping only).
+type NopIssuer struct{}
+
+// IssueRefresh implements RefreshIssuer.
+func (NopIssuer) IssueRefresh(uint64, pcm.WriteMode, pcm.WearKind) {}

@@ -1,0 +1,291 @@
+// Package cpu models the processor cores of Table IV with a first-order
+// out-of-order (interval) model: an 8-issue core commits non-memory
+// instructions at the workload's base CPI, overlaps LLC-miss loads up to
+// its MSHR/MLP budget, stalls when the reorder buffer fills behind the
+// oldest outstanding miss, and retires stores asynchronously. This class
+// of model reproduces the memory-latency and bandwidth sensitivity of a
+// detailed OoO core at a tiny fraction of the cost, which is what the
+// paper's experiments need: the write-mode policies differ only through
+// the memory system.
+package cpu
+
+import (
+	"fmt"
+
+	"rrmpcm/internal/timing"
+	"rrmpcm/internal/trace"
+)
+
+// AccessReply is the backend's answer to one data access.
+type AccessReply struct {
+	// Stall is synchronous on-chip latency to charge the core (partial
+	// exposure of L2/LLC hit latency).
+	Stall timing.Time
+	// Pending means the access misses to memory; the done callback
+	// passed to Access fires when data returns.
+	Pending bool
+	// Throttle tells the core to stop issuing until its resume
+	// callback fires (memory-side backpressure, e.g. a full write
+	// queue blocking LLC evictions).
+	Throttle bool
+}
+
+// Backend is the memory system a core issues accesses into. Access must
+// always accept the operation: backpressure is expressed via Throttle
+// plus the core's resume callback, never by rejection (so the core never
+// needs to replay an operation whose cache side effects already
+// happened).
+type Backend interface {
+	Access(core int, addr uint64, store bool, now timing.Time, done func(timing.Time)) AccessReply
+}
+
+// Config sizes one core.
+type Config struct {
+	ID         int
+	ROB        int // reorder-buffer window (instructions); Table IV core: 192
+	MSHRs      int // outstanding L1 misses (Table IV: 8)
+	Quantum    timing.Time
+	MaxOpsStep int // safety valve per step call
+}
+
+// DefaultConfig returns the Table IV core: 8-issue OoO, 192-entry window,
+// 8 MSHRs. The quantum bounds how far a core runs ahead of the global
+// event clock between reschedules (cross-core interleaving granularity
+// for on-chip state; memory-level timing stays exact).
+func DefaultConfig(id int) Config {
+	return Config{ID: id, ROB: 192, MSHRs: 8, Quantum: 2 * timing.Microsecond, MaxOpsStep: 1 << 16}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.ROB <= 0 || c.MSHRs <= 0 || c.Quantum <= 0 || c.MaxOpsStep <= 0 {
+		return fmt.Errorf("cpu: invalid config %+v", c)
+	}
+	return nil
+}
+
+// Stats reports a core's progress.
+type Stats struct {
+	Instructions  uint64
+	MemOps        uint64
+	Stores        uint64
+	LoadMisses    uint64 // LLC-miss loads
+	StoreMisses   uint64
+	StallROB      uint64 // times the core stalled on a full window
+	StallMSHR     uint64
+	StallThrottle uint64
+	LocalTime     timing.Time
+}
+
+// IPC returns committed instructions per CPU cycle.
+func (s Stats) IPC() float64 {
+	if s.LocalTime == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.LocalTime.CPUCycles())
+}
+
+// Core is one simulated processor core.
+type Core struct {
+	cfg Config
+	gen *trace.Mixture
+	be  Backend
+	eq  *timing.EventQueue
+
+	cpiPerInst timing.Time // BaseCPI in picoseconds, rounded
+	cpiFrac    float64     // fractional picosecond accumulator
+	maxMLP     int
+
+	localTime timing.Time
+	stats     Stats
+
+	loadMissInsts []uint64 // instruction numbers of outstanding load misses
+	storeMisses   int
+	throttled     bool
+	stopAt        timing.Time
+	stepArmed     bool
+}
+
+// New builds a core running gen against be, self-scheduling on eq.
+func New(cfg Config, gen *trace.Mixture, be Backend, eq *timing.EventQueue) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if gen == nil || be == nil || eq == nil {
+		return nil, fmt.Errorf("cpu: nil generator, backend or event queue")
+	}
+	mlp := cfg.MSHRs
+	if m := gen.MaxMLP(); m > 0 && m < mlp {
+		mlp = m
+	}
+	return &Core{
+		cfg:        cfg,
+		gen:        gen,
+		be:         be,
+		eq:         eq,
+		maxMLP:     mlp,
+		cpiPerInst: timing.Time(gen.BaseCPI() * float64(timing.CPUCycle)),
+		stopAt:     timing.Forever,
+	}, nil
+}
+
+// Stats returns a snapshot of the core's counters.
+func (c *Core) Stats() Stats {
+	s := c.stats
+	s.LocalTime = c.localTime
+	return s
+}
+
+// ID returns the core's index.
+func (c *Core) ID() int { return c.cfg.ID }
+
+// Start begins execution at the event queue's current time and runs
+// until stopAt (set via StopAt) or forever.
+func (c *Core) Start() {
+	c.localTime = c.eq.Now()
+	c.armStep(c.eq.Now())
+}
+
+// StopAt sets the simulation horizon: the core issues no work at or
+// beyond this local time.
+func (c *Core) StopAt(t timing.Time) { c.stopAt = t }
+
+// Throttle blocks the core until Resume fires. The backend uses it when
+// backpressure is discovered after Access has already returned (e.g. a
+// writeback scheduled at the core's local time finds the write queue
+// full).
+func (c *Core) Throttle() { c.throttled = true }
+
+// Resume is the backpressure release callback: the backend calls it when
+// a Throttle it issued to this core has cleared.
+func (c *Core) Resume(now timing.Time) {
+	if !c.throttled {
+		return
+	}
+	c.throttled = false
+	c.armStep(now)
+}
+
+// armStep schedules a step if none is armed.
+func (c *Core) armStep(at timing.Time) {
+	if c.stepArmed {
+		return
+	}
+	c.stepArmed = true
+	c.eq.Schedule(timing.Max(at, c.eq.Now()), c.step)
+}
+
+// blocked reports whether the core cannot issue and must wait for a
+// callback.
+func (c *Core) blocked() bool {
+	if c.throttled {
+		return true
+	}
+	if len(c.loadMissInsts) > 0 && c.stats.Instructions-c.loadMissInsts[0] >= uint64(c.cfg.ROB) {
+		return true
+	}
+	if len(c.loadMissInsts) >= c.maxMLP {
+		return true
+	}
+	if len(c.loadMissInsts)+c.storeMisses >= c.cfg.MSHRs {
+		return true
+	}
+	return false
+}
+
+// step runs the core forward from the event time until it blocks, hits
+// the quantum, or reaches the horizon.
+func (c *Core) step(now timing.Time) {
+	c.stepArmed = false
+	if c.localTime < now {
+		c.localTime = now
+	}
+	horizon := now + c.cfg.Quantum
+	var op trace.Op
+	for n := 0; n < c.cfg.MaxOpsStep; n++ {
+		if c.localTime >= c.stopAt {
+			return // horizon reached; do not rearm
+		}
+		if c.blocked() {
+			c.noteStall()
+			return // a completion/resume callback will rearm
+		}
+		if c.localTime > horizon {
+			c.armStep(c.localTime)
+			return
+		}
+
+		c.gen.Next(&op)
+		c.advance(op.NonMem)
+		c.stats.Instructions += uint64(op.NonMem) + 1
+		c.stats.MemOps++
+		if op.Store {
+			c.stats.Stores++
+		}
+
+		instNum := c.stats.Instructions
+		store := op.Store
+		reply := c.be.Access(c.cfg.ID, op.Addr, store, c.localTime, func(t timing.Time) {
+			c.memDone(store, instNum, t)
+		})
+		c.localTime += reply.Stall
+		if reply.Pending {
+			if store {
+				c.stats.StoreMisses++
+				c.storeMisses++
+			} else {
+				c.stats.LoadMisses++
+				c.loadMissInsts = append(c.loadMissInsts, instNum)
+			}
+		}
+		if reply.Throttle {
+			c.throttled = true
+		}
+	}
+	// Safety valve: extremely hit-heavy phases could loop too long in
+	// one event; yield and continue.
+	c.armStep(c.localTime)
+}
+
+// advance charges n non-memory instructions plus the memory op issue slot
+// at the workload's base CPI, accumulating sub-picosecond remainders.
+func (c *Core) advance(nonMem int) {
+	insts := nonMem + 1
+	c.localTime += timing.Time(insts) * c.cpiPerInst
+	// Track the fractional picoseconds lost to integer rounding so the
+	// long-run rate matches BaseCPI exactly.
+	exact := float64(insts) * c.gen.BaseCPI() * float64(timing.CPUCycle)
+	c.cpiFrac += exact - float64(timing.Time(insts)*c.cpiPerInst)
+	if c.cpiFrac >= 1 {
+		whole := timing.Time(c.cpiFrac)
+		c.localTime += whole
+		c.cpiFrac -= float64(whole)
+	}
+}
+
+// memDone handles a memory completion for this core.
+func (c *Core) memDone(store bool, instNum uint64, now timing.Time) {
+	if store {
+		c.storeMisses--
+	} else {
+		for i, v := range c.loadMissInsts {
+			if v == instNum {
+				c.loadMissInsts = append(c.loadMissInsts[:i], c.loadMissInsts[i+1:]...)
+				break
+			}
+		}
+	}
+	c.armStep(now)
+}
+
+// noteStall classifies why the core is blocked, for the stats counters.
+func (c *Core) noteStall() {
+	switch {
+	case c.throttled:
+		c.stats.StallThrottle++
+	case len(c.loadMissInsts) > 0 && c.stats.Instructions-c.loadMissInsts[0] >= uint64(c.cfg.ROB):
+		c.stats.StallROB++
+	default:
+		c.stats.StallMSHR++
+	}
+}

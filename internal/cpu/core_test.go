@@ -1,0 +1,317 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+
+	"rrmpcm/internal/timing"
+	"rrmpcm/internal/trace"
+)
+
+// fakeBackend scripts replies and records accesses.
+type fakeBackend struct {
+	eq *timing.EventQueue
+
+	// behavior knobs
+	missEvery   int // every Nth access is a miss (0 = never)
+	missLatency timing.Time
+	stall       timing.Time
+	throttleAt  int // access index to throttle at (0 = never)
+	resume      func(timing.Time)
+
+	accesses int
+	stores   int
+}
+
+func (f *fakeBackend) Access(core int, addr uint64, store bool, now timing.Time, done func(timing.Time)) AccessReply {
+	f.accesses++
+	if store {
+		f.stores++
+	}
+	var r AccessReply
+	r.Stall = f.stall
+	if f.missEvery > 0 && f.accesses%f.missEvery == 0 {
+		r.Pending = true
+		f.eq.Schedule(now+f.missLatency, done)
+	}
+	if f.throttleAt > 0 && f.accesses == f.throttleAt {
+		r.Throttle = true
+	}
+	return r
+}
+
+func genFor(t *testing.T, name string) *trace.Mixture {
+	t.Helper()
+	p, err := trace.ProfileByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := trace.NewMixture(p, 0, 2<<30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// denseGen returns a generator with one memory op every ~2 instructions,
+// so ROB/MSHR limits (counted in instructions) bind within a few ops.
+func denseGen(t *testing.T) *trace.Mixture {
+	t.Helper()
+	p, err := trace.ProfileByName("hmmer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.MemFraction = 0.5
+	m, err := trace.NewMixture(p, 0, 2<<30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig(0).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultConfig(0)
+	bad.ROB = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero ROB accepted")
+	}
+	if _, err := New(DefaultConfig(0), nil, nil, nil); err == nil {
+		t.Error("nil deps accepted")
+	}
+}
+
+func TestHitOnlyIPCMatchesBaseCPI(t *testing.T) {
+	eq := timing.NewEventQueue()
+	be := &fakeBackend{eq: eq}
+	gen := genFor(t, "hmmer")
+	c, err := New(DefaultConfig(0), gen, be, eq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.StopAt(100 * timing.Microsecond)
+	c.Start()
+	eq.RunUntil(200 * timing.Microsecond)
+	s := c.Stats()
+	if s.Instructions == 0 {
+		t.Fatal("core made no progress")
+	}
+	// With no misses and no stalls, IPC = 1/BaseCPI.
+	wantIPC := 1 / gen.BaseCPI()
+	if math.Abs(s.IPC()-wantIPC)/wantIPC > 0.02 {
+		t.Errorf("IPC = %v, want ~%v", s.IPC(), wantIPC)
+	}
+	if s.LoadMisses != 0 || s.StallROB != 0 {
+		t.Errorf("unexpected misses/stalls: %+v", s)
+	}
+}
+
+func TestMissLatencyLowersIPC(t *testing.T) {
+	run := func(missLat timing.Time) float64 {
+		eq := timing.NewEventQueue()
+		be := &fakeBackend{eq: eq, missEvery: 10, missLatency: missLat}
+		c, err := New(DefaultConfig(0), genFor(t, "hmmer"), be, eq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.StopAt(200 * timing.Microsecond)
+		c.Start()
+		eq.RunUntil(5 * timing.Millisecond)
+		return c.Stats().IPC()
+	}
+	fast, slow := run(100*timing.Nanosecond), run(1000*timing.Nanosecond)
+	if slow >= fast {
+		t.Errorf("IPC with slow memory (%v) not below fast (%v)", slow, fast)
+	}
+}
+
+func TestROBStall(t *testing.T) {
+	// Misses never complete within the run: the core must stop at the
+	// ROB limit rather than run ahead forever.
+	eq := timing.NewEventQueue()
+	be := &fakeBackend{eq: eq, missEvery: 2, missLatency: timing.Second}
+	cfg := DefaultConfig(0)
+	cfg.ROB = 64
+	cfg.MSHRs = 100 // ROB, not MSHRs, must be the binding limit
+	c, err := New(cfg, denseGen(t), be, eq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.StopAt(timing.Second)
+	c.Start()
+	eq.RunUntil(100 * timing.Microsecond)
+	s := c.Stats()
+	if s.Instructions > uint64(cfg.ROB)+100 {
+		t.Errorf("core committed %d instructions past a dead ROB of %d", s.Instructions, cfg.ROB)
+	}
+	if s.StallROB == 0 {
+		t.Error("no ROB stall recorded")
+	}
+}
+
+func TestMSHRLimit(t *testing.T) {
+	eq := timing.NewEventQueue()
+	be := &fakeBackend{eq: eq, missEvery: 1, missLatency: timing.Second}
+	cfg := DefaultConfig(0)
+	cfg.MSHRs = 4
+	cfg.ROB = 1 << 20
+	c, err := New(cfg, denseGen(t), be, eq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.StopAt(timing.Second)
+	c.Start()
+	eq.RunUntil(100 * timing.Microsecond)
+	s := c.Stats()
+	if s.LoadMisses+s.StoreMisses > 4 {
+		t.Errorf("%d misses outstanding with 4 MSHRs", s.LoadMisses+s.StoreMisses)
+	}
+	if s.StallMSHR == 0 {
+		t.Error("no MSHR stall recorded")
+	}
+}
+
+func TestMaxMLPCap(t *testing.T) {
+	// mcf's profile caps load MLP at 2 even with 8 MSHRs.
+	eq := timing.NewEventQueue()
+	be := &fakeBackend{eq: eq, missEvery: 1, missLatency: timing.Second}
+	c, err := New(DefaultConfig(0), genFor(t, "mcf"), be, eq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.StopAt(timing.Second)
+	c.Start()
+	eq.RunUntil(100 * timing.Microsecond)
+	if got := len(c.loadMissInsts); got > 2 {
+		t.Errorf("mcf overlapped %d load misses, cap is 2", got)
+	}
+}
+
+func TestThrottleAndResume(t *testing.T) {
+	eq := timing.NewEventQueue()
+	be := &fakeBackend{eq: eq, throttleAt: 50}
+	c, err := New(DefaultConfig(0), genFor(t, "hmmer"), be, eq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.StopAt(timing.Second)
+	c.Start()
+	eq.RunUntil(50 * timing.Microsecond)
+	frozen := c.Stats().Instructions
+	if be.accesses != 50 {
+		t.Fatalf("made %d accesses, want to freeze at 50", be.accesses)
+	}
+	// No progress while throttled.
+	eq.RunUntil(100 * timing.Microsecond)
+	if got := c.Stats().Instructions; got != frozen {
+		t.Errorf("throttled core progressed: %d -> %d", frozen, got)
+	}
+	if c.Stats().StallThrottle == 0 {
+		t.Error("no throttle stall recorded")
+	}
+	// Resume releases it.
+	c.Resume(eq.Now())
+	eq.RunUntil(150 * timing.Microsecond)
+	if got := c.Stats().Instructions; got <= frozen {
+		t.Error("core did not resume")
+	}
+	// Redundant resume is a no-op.
+	c.Resume(eq.Now())
+}
+
+func TestStopAtHorizon(t *testing.T) {
+	eq := timing.NewEventQueue()
+	be := &fakeBackend{eq: eq}
+	c, err := New(DefaultConfig(0), genFor(t, "hmmer"), be, eq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.StopAt(10 * timing.Microsecond)
+	c.Start()
+	eq.RunUntil(timing.Millisecond)
+	s := c.Stats()
+	if s.LocalTime < 10*timing.Microsecond {
+		t.Errorf("stopped early at %v", s.LocalTime)
+	}
+	if s.LocalTime > 13*timing.Microsecond {
+		t.Errorf("overran horizon to %v", s.LocalTime)
+	}
+}
+
+func TestOutOfOrderCompletion(t *testing.T) {
+	// Misses completing out of order must unstall the ROB only when the
+	// oldest completes.
+	eq := timing.NewEventQueue()
+	gen := denseGen(t)
+	cfg := DefaultConfig(0)
+	cfg.ROB = 32
+	var dones []func(timing.Time)
+	be := &manualBackend{pendingEvery: 3, dones: &dones}
+	c, err := New(cfg, gen, be, eq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.StopAt(timing.Second)
+	c.Start()
+	eq.RunUntil(10 * timing.Microsecond)
+	if len(dones) < 2 {
+		t.Fatalf("want >=2 outstanding misses, have %d", len(dones))
+	}
+	before := c.Stats().Instructions
+	// Complete the youngest first: window still blocked by the oldest.
+	dones[len(dones)-1](eq.Now())
+	eq.RunUntil(11 * timing.Microsecond)
+	mid := c.Stats().Instructions
+	// Then the oldest: core advances.
+	dones[0](eq.Now())
+	eq.RunUntil(20 * timing.Microsecond)
+	after := c.Stats().Instructions
+	if after <= mid {
+		t.Errorf("core stuck after oldest completion: %d -> %d -> %d", before, mid, after)
+	}
+}
+
+type manualBackend struct {
+	pendingEvery int
+	count        int
+	dones        *[]func(timing.Time)
+}
+
+func (m *manualBackend) Access(core int, addr uint64, store bool, now timing.Time, done func(timing.Time)) AccessReply {
+	m.count++
+	if store {
+		return AccessReply{}
+	}
+	if m.count%m.pendingEvery == 0 {
+		*m.dones = append(*m.dones, done)
+		return AccessReply{Pending: true}
+	}
+	return AccessReply{}
+}
+
+func TestStallChargesLatency(t *testing.T) {
+	run := func(stall timing.Time) float64 {
+		eq := timing.NewEventQueue()
+		be := &fakeBackend{eq: eq, stall: stall}
+		c, err := New(DefaultConfig(0), genFor(t, "hmmer"), be, eq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.StopAt(100 * timing.Microsecond)
+		c.Start()
+		eq.RunUntil(timing.Millisecond)
+		return c.Stats().IPC()
+	}
+	if run(10*timing.Nanosecond) >= run(0) {
+		t.Error("hit-latency stalls did not lower IPC")
+	}
+}
+
+func TestIPCZeroWhenIdle(t *testing.T) {
+	var s Stats
+	if s.IPC() != 0 {
+		t.Error("idle IPC should be 0")
+	}
+}

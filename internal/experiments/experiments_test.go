@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"rrmpcm/internal/timing"
+	"rrmpcm/internal/trace"
+)
+
+func TestAllHaveUniqueIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %+v incomplete", e.ID)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate id %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	// Every artifact of DESIGN.md §5 must be present.
+	for _, id := range []string{"table1", "fig2", "fig3", "fig4", "table3", "table7",
+		"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "table8", "fig13"} {
+		if !seen[id] {
+			t.Errorf("missing experiment %q", id)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("table1")
+	if err != nil || e.ID != "table1" {
+		t.Fatalf("ByID: %v %v", e, err)
+	}
+	if _, err := ByID("nonesuch"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	out, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"3-SETs-Write", "7-SETs-Write", "3054.9", "1150", "550"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable8(t *testing.T) {
+	out, err := Table8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"96KB", "1.56%", "384KB", "6.25%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table8 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteIntervalHistogram(t *testing.T) {
+	w, err := trace.WorkloadByName("GemsFDTD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := WriteIntervalHistogram(w, 5*timing.Millisecond, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	share := hist.HotShare(0.02)
+	if share < 0.5 {
+		t.Errorf("hot share = %.2f, want the Table III concentration (>0.5)", share)
+	}
+	out := FormatIntervalHistogram(hist)
+	if !strings.Contains(out, "never written") {
+		t.Errorf("histogram format missing rows:\n%s", out)
+	}
+}
+
+func TestAblationGlobalRefreshDutyCycle(t *testing.T) {
+	// The duty-cycle numbers are analytic; verify the Static-3 figure:
+	// refreshing 2^27 blocks at 1150... at 550 ns across 64 banks every
+	// 2.01 s busies the memory for more than half of the time.
+	if testing.Short() {
+		t.Skip("needs the quick matrix")
+	}
+	r := NewRunner(Options{Quick: true, Seed: 1})
+	out, err := AblationGlobalRefresh(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Static-3-SETs") || !strings.Contains(out, "duty") {
+		t.Errorf("ablation output malformed:\n%s", out)
+	}
+}
+
+func TestQuickOptions(t *testing.T) {
+	opt := Options{Quick: true}
+	ws := opt.workloads()
+	if len(ws) != 3 {
+		t.Errorf("quick workloads = %d, want 3", len(ws))
+	}
+	cfg := opt.simConfig(mainSchemes()[0], ws[0])
+	if cfg.Duration != 4*timing.Millisecond || cfg.TimeScale != 500 {
+		t.Errorf("quick config = %v/%v", cfg.Duration, cfg.TimeScale)
+	}
+	full := Options{}
+	if got := len(full.workloads()); got != 11 {
+		t.Errorf("full workloads = %d, want 11", got)
+	}
+}
+
+func TestRunnerCaching(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation")
+	}
+	r := NewRunner(Options{Quick: true, Seed: 1})
+	w, _ := trace.WorkloadByName("GemsFDTD")
+	m1, err := r.Run("cache-test", mainSchemes()[0], w, func(c *simConfigT) {
+		c.Duration = 1500 * timing.Microsecond
+		c.Warmup = 500 * timing.Microsecond
+		c.TimeScale = 1000
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := r.Run("cache-test", mainSchemes()[0], w, nil) // cached: mutate ignored
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Instructions != m2.Instructions {
+		t.Error("cache returned a different result")
+	}
+}

@@ -1,0 +1,193 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (the experiment index in DESIGN.md §5). Each experiment is a
+// function from Options to a formatted text table; cmd/experiments runs
+// them from the command line and bench_test.go exposes quick variants as
+// benchmarks.
+//
+// Experiments that share simulation runs (Figures 2-4 and 7-10 all view
+// the same scheme x workload matrix) share them through a Runner cache,
+// so the full suite costs one pass over the matrix.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"rrmpcm/internal/core"
+	"rrmpcm/internal/pcm"
+	"rrmpcm/internal/sim"
+	"rrmpcm/internal/stats"
+	"rrmpcm/internal/timing"
+	"rrmpcm/internal/trace"
+)
+
+// Options configures an experiment pass.
+type Options struct {
+	// Quick shrinks simulation windows for smoke tests and benchmarks;
+	// results keep their shape but are noisier.
+	Quick bool
+	// Seed makes the whole pass reproducible.
+	Seed uint64
+	// Progress, if non-nil, receives one line per completed run.
+	Progress io.Writer
+}
+
+// simConfig builds the run configuration for a scheme/workload pair.
+func (o Options) simConfig(scheme sim.Scheme, w trace.Workload) sim.Config {
+	cfg := sim.DefaultConfig(scheme, w)
+	if o.Quick {
+		cfg.Duration = 4 * timing.Millisecond
+		cfg.Warmup = 1500 * timing.Microsecond
+		cfg.TimeScale = 500
+	} else {
+		// 30 ms measured at TimeScale 100: the 20 ms scaled refresh
+		// interval fits the window (hot entries refresh once or twice),
+		// and the retention deadline slack stays 10x the worst queue
+		// delay. RRM refresh traffic is simulated at 100x its real
+		// density, so RRM performance is conservatively understated.
+		cfg.Duration = 30 * timing.Millisecond
+		cfg.Warmup = 10 * timing.Millisecond
+		cfg.TimeScale = 100
+	}
+	if o.Seed != 0 {
+		cfg.Seed = o.Seed
+	}
+	return cfg
+}
+
+// Runner caches simulation results across experiments.
+type Runner struct {
+	opt   Options
+	cache map[string]sim.Metrics
+}
+
+// NewRunner returns a runner for one experiment pass.
+func NewRunner(opt Options) *Runner {
+	return &Runner{opt: opt, cache: make(map[string]sim.Metrics)}
+}
+
+// Run simulates (or returns the cached result of) one scheme/workload
+// pair, with optional config mutation. Mutated configs must pass a
+// distinct label for correct caching.
+func (r *Runner) Run(label string, scheme sim.Scheme, w trace.Workload, mutate func(*sim.Config)) (sim.Metrics, error) {
+	key := label + "/" + scheme.Name() + "/" + w.Name
+	if m, ok := r.cache[key]; ok {
+		return m, nil
+	}
+	cfg := r.opt.simConfig(scheme, w)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	start := time.Now()
+	sys, err := sim.New(cfg)
+	if err != nil {
+		return sim.Metrics{}, fmt.Errorf("experiments: %s: %w", key, err)
+	}
+	m, err := sys.Run()
+	if err != nil {
+		return sim.Metrics{}, fmt.Errorf("experiments: %s: %w", key, err)
+	}
+	if m.RetentionViolations > 0 {
+		return sim.Metrics{}, fmt.Errorf("experiments: %s: %d retention violations (%s)",
+			key, m.RetentionViolations, m.FirstViolation)
+	}
+	if r.opt.Progress != nil {
+		fmt.Fprintf(r.opt.Progress, "  ran %-40s IPC=%.3f life=%.2fy (%.1fs)\n",
+			key, m.IPC, m.LifetimeYears, time.Since(start).Seconds())
+	}
+	r.cache[key] = m
+	return m, nil
+}
+
+// mainSchemes is the Table VI scheme list.
+func mainSchemes() []sim.Scheme {
+	return []sim.Scheme{
+		sim.StaticScheme(pcm.Mode7SETs),
+		sim.StaticScheme(pcm.Mode6SETs),
+		sim.StaticScheme(pcm.Mode5SETs),
+		sim.StaticScheme(pcm.Mode4SETs),
+		sim.StaticScheme(pcm.Mode3SETs),
+		sim.RRMScheme(),
+	}
+}
+
+// staticSchemes is the Figure 2-4 subset.
+func staticSchemes() []sim.Scheme {
+	return mainSchemes()[:5]
+}
+
+// workloads returns the experiment workload list; quick mode trims it to
+// a representative trio so benchmarks stay fast.
+func (o Options) workloads() []trace.Workload {
+	all := trace.Workloads()
+	if !o.Quick {
+		return all
+	}
+	var out []trace.Workload
+	for _, w := range all {
+		switch w.Name {
+		case "GemsFDTD", "mcf", "MIX_2":
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// matrix runs every scheme over every workload and returns
+// metrics[workload][scheme].
+func (r *Runner) matrix(schemes []sim.Scheme) (map[string]map[string]sim.Metrics, []trace.Workload, error) {
+	ws := r.opt.workloads()
+	out := make(map[string]map[string]sim.Metrics, len(ws))
+	for _, w := range ws {
+		out[w.Name] = make(map[string]sim.Metrics, len(schemes))
+		for _, s := range schemes {
+			m, err := r.Run("main", s, w, nil)
+			if err != nil {
+				return nil, nil, err
+			}
+			out[w.Name][s.Name()] = m
+		}
+	}
+	return out, ws, nil
+}
+
+// geomeanOver collects metric(workload) over ws and returns the geomean.
+func geomeanOver(ws []trace.Workload, f func(name string) float64) float64 {
+	vals := make([]float64, 0, len(ws))
+	for _, w := range ws {
+		vals = append(vals, f(w.Name))
+	}
+	return stats.Geomean(vals)
+}
+
+// sortedNames returns workload names in canonical (declaration) order
+// followed by nothing else; used for stable table rows.
+func sortedNames(ws []trace.Workload) []string {
+	names := make([]string, 0, len(ws))
+	for _, w := range ws {
+		names = append(names, w.Name)
+	}
+	return names
+}
+
+// rrmConfigWith applies a mutation to the default RRM config.
+func rrmConfigWith(mutate func(*core.RRMConfig)) sim.Scheme {
+	cfg := core.DefaultRRMConfig()
+	mutate(&cfg)
+	return sim.Scheme{Kind: sim.SchemeRRM, RRM: cfg}
+}
+
+// Aliases keeping experiments.go terse.
+type coreRRMConfig = core.RRMConfig
+
+func defaultRRM() core.RRMConfig { return core.DefaultRRMConfig() }
+
+func timingTime(v float64) timing.Time { return timing.Time(v) }
+
+// simConfigT aliases sim.Config for test readability.
+type simConfigT = sim.Config
+
+// mathPow keeps the math import local.
+func mathPow(x, p float64) float64 { return math.Pow(x, p) }

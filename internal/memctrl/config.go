@@ -1,0 +1,152 @@
+package memctrl
+
+import (
+	"fmt"
+
+	"rrmpcm/internal/timing"
+)
+
+// Config holds the Table V controller parameters.
+type Config struct {
+	// Queue capacities, per channel.
+	RefreshQueueCap int // paper: 64, high priority
+	ReadQueueCap    int // paper: 32, middle priority
+	WriteQueueCap   int // paper: 64, low priority
+
+	// Timing.
+	TRCD     timing.Time // activate-to-column: 48 mem cycles = 120 ns
+	TCAS     timing.Time // column access: 1 mem cycle = 2.5 ns
+	TFAW     timing.Time // four-activate window: 50 ns
+	BusXfer  timing.Time // 64 B over a 64-bit 400 MHz bus: 8 mem cycles
+	FAWLimit int         // activations allowed inside a TFAW window
+
+	// WriteDrainHigh/WriteDrainLow are the write-queue watermarks of
+	// the FRFCFS-with-write-queue policy: when a channel's write queue
+	// reaches WriteDrainHigh the channel enters drain mode, giving
+	// writes priority over reads until the queue falls to
+	// WriteDrainLow. Watermark draining is how real controllers (and
+	// NVMain, the paper's memory simulator) prevent write-queue
+	// overflow, and it is the mechanism through which slow writes
+	// steal read bandwidth.
+	WriteDrainHigh int
+	WriteDrainLow  int
+
+	// WritePausing enables pausing an in-flight write at SET-iteration
+	// boundaries when a read is waiting on the same bank (paper uses
+	// the technique of Qureshi et al. [14]). Disabling it is ablation
+	// A3.
+	WritePausing bool
+
+	// ReadForwarding services reads that match a queued write directly
+	// from the write queue (store-to-load forwarding at the controller).
+	ReadForwarding bool
+}
+
+// DefaultConfig returns the Table V controller configuration.
+func DefaultConfig() Config {
+	return Config{
+		RefreshQueueCap: 64,
+		ReadQueueCap:    32,
+		WriteQueueCap:   64,
+		TRCD:            timing.MemCycles(48),
+		TCAS:            timing.MemCycles(1),
+		TFAW:            50 * timing.Nanosecond,
+		BusXfer:         timing.MemCycles(8),
+		FAWLimit:        4,
+		WriteDrainHigh:  48,
+		WriteDrainLow:   16,
+		WritePausing:    true,
+		ReadForwarding:  true,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.RefreshQueueCap <= 0 || c.ReadQueueCap <= 0 || c.WriteQueueCap <= 0 {
+		return fmt.Errorf("memctrl: queue capacities must be positive: %+v", c)
+	}
+	if c.TRCD < 0 || c.TCAS < 0 || c.TFAW < 0 || c.BusXfer <= 0 {
+		return fmt.Errorf("memctrl: negative timing parameter")
+	}
+	if c.FAWLimit <= 0 {
+		return fmt.Errorf("memctrl: FAWLimit must be positive")
+	}
+	if c.WriteDrainHigh <= 0 || c.WriteDrainLow < 0 || c.WriteDrainLow >= c.WriteDrainHigh ||
+		c.WriteDrainHigh > c.WriteQueueCap {
+		return fmt.Errorf("memctrl: write drain watermarks %d/%d invalid for queue %d",
+			c.WriteDrainHigh, c.WriteDrainLow, c.WriteQueueCap)
+	}
+	return nil
+}
+
+// Stats aggregates controller activity.
+type Stats struct {
+	ReadsServed     uint64
+	WritesServed    uint64
+	RefreshesServed uint64
+
+	RowBufHits   uint64 // reads hitting the open 1 KB segment
+	RowBufMisses uint64
+	ReadForwards uint64 // reads satisfied from the write queue
+	WritePauses  uint64 // times an in-flight write was paused for a read
+	DrainEntries uint64 // times a channel entered write-drain mode
+
+	// Rejections at enqueue, by kind (backpressure events).
+	Rejected [numKinds]uint64
+
+	// Read latency from enqueue to data return.
+	ReadLatencySum timing.Time
+	ReadLatencyMax timing.Time
+
+	// Refresh latency from enqueue to completion, for the deadline
+	// check of paper §V ("we did not encounter any situation where an
+	// RRM refresh request does not meet the retention timing").
+	RefreshLatencySum timing.Time
+	RefreshLatencyMax timing.Time
+
+	// Write latency from enqueue to pulse completion.
+	WriteLatencySum timing.Time
+	WriteLatencyMax timing.Time
+
+	// Occupancy high-water marks.
+	MaxReadQueue    int
+	MaxWriteQueue   int
+	MaxRefreshQueue int
+
+	// BankBusy integrates bank-occupied time across all banks, for
+	// utilization reporting.
+	BankBusy timing.Time
+}
+
+// AvgReadLatency returns the mean read service latency.
+func (s Stats) AvgReadLatency() timing.Time {
+	if s.ReadsServed == 0 {
+		return 0
+	}
+	return s.ReadLatencySum / timing.Time(s.ReadsServed)
+}
+
+// AvgWriteLatency returns the mean write service latency.
+func (s Stats) AvgWriteLatency() timing.Time {
+	if s.WritesServed == 0 {
+		return 0
+	}
+	return s.WriteLatencySum / timing.Time(s.WritesServed)
+}
+
+// AvgRefreshLatency returns the mean refresh service latency.
+func (s Stats) AvgRefreshLatency() timing.Time {
+	if s.RefreshesServed == 0 {
+		return 0
+	}
+	return s.RefreshLatencySum / timing.Time(s.RefreshesServed)
+}
+
+// RowBufHitRate returns the fraction of reads that hit the open segment.
+func (s Stats) RowBufHitRate() float64 {
+	total := s.RowBufHits + s.RowBufMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.RowBufHits) / float64(total)
+}

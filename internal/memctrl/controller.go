@@ -1,0 +1,594 @@
+package memctrl
+
+import (
+	"fmt"
+
+	"rrmpcm/internal/pcm"
+	"rrmpcm/internal/timing"
+)
+
+// Controller is the multi-channel MLC PCM memory controller.
+type Controller struct {
+	cfg   Config
+	amap  *pcm.AddressMap
+	eq    *timing.EventQueue
+	rec   Recorder
+	chans []*channel
+	stats Stats
+}
+
+// New builds a controller over the mapped device, driven by eq. rec may
+// be nil to discard accounting.
+func New(cfg Config, amap *pcm.AddressMap, eq *timing.EventQueue, rec Recorder) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if rec == nil {
+		rec = NopRecorder{}
+	}
+	c := &Controller{cfg: cfg, amap: amap, eq: eq, rec: rec}
+	dev := amap.Config()
+	for i := 0; i < dev.Channels; i++ {
+		ch := &channel{ctl: c, id: i, banks: make([]bankState, dev.Banks)}
+		ch.actTimes = make([]timing.Time, cfg.FAWLimit)
+		for j := range ch.actTimes {
+			ch.actTimes[j] = -timing.Forever
+		}
+		c.chans = append(c.chans, ch)
+	}
+	return c, nil
+}
+
+// Config returns the controller configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Stats returns a copy of the aggregate counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// ChannelOf returns the channel index an address maps to.
+func (c *Controller) ChannelOf(addr uint64) int { return c.amap.Decode(addr).Channel }
+
+// QueueLen returns the current depth of a queue, for tests and metrics.
+func (c *Controller) QueueLen(channel int, kind RequestKind) int {
+	return len(c.chans[channel].queues[kind])
+}
+
+// Pending reports whether any queue holds requests or any bank is mid
+// transaction (used to drain the simulation cleanly).
+func (c *Controller) Pending() bool {
+	for _, ch := range c.chans {
+		for _, q := range ch.queues {
+			if len(q) > 0 {
+				return true
+			}
+		}
+		for i := range ch.banks {
+			if ch.banks[i].wr != nil || ch.banks[i].freeAt > c.eq.Now() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TryEnqueue submits a request. It returns false, leaving the request
+// unqueued, when the target queue is full; the caller may register an
+// OnSpace callback to retry.
+func (c *Controller) TryEnqueue(req *Request) bool {
+	if req.Kind < 0 || req.Kind >= numKinds {
+		panic(fmt.Sprintf("memctrl: bad request kind %d", int(req.Kind)))
+	}
+	req.loc = c.amap.Decode(req.Addr)
+	ch := c.chans[req.loc.Channel]
+	now := c.eq.Now()
+
+	if req.Kind == ReadReq && c.cfg.ReadForwarding && ch.forwards(req.Addr) {
+		c.stats.ReadForwards++
+		c.stats.ReadsServed++
+		lat := c.cfg.TCAS + c.cfg.BusXfer
+		c.stats.ReadLatencySum += lat
+		if lat > c.stats.ReadLatencyMax {
+			c.stats.ReadLatencyMax = lat
+		}
+		done := req.OnDone
+		addr := req.Addr
+		c.eq.Schedule(now+lat, func(t timing.Time) {
+			c.rec.RecordRead(addr)
+			if done != nil {
+				done(t)
+			}
+		})
+		return true
+	}
+
+	capacity := c.queueCap(req.Kind)
+	if len(ch.queues[req.Kind]) >= capacity {
+		c.stats.Rejected[req.Kind]++
+		return false
+	}
+	req.enqueuedAt = now
+	ch.queues[req.Kind] = append(ch.queues[req.Kind], req)
+	c.noteOccupancy(ch)
+	ch.kick(now)
+	return true
+}
+
+// OnSpace registers fn to run once, the next time the given queue of the
+// given channel drops below capacity.
+func (c *Controller) OnSpace(kind RequestKind, channel int, fn func(now timing.Time)) {
+	ch := c.chans[channel]
+	ch.spaceWaiters[kind] = append(ch.spaceWaiters[kind], fn)
+}
+
+func (c *Controller) queueCap(kind RequestKind) int {
+	switch kind {
+	case ReadReq:
+		return c.cfg.ReadQueueCap
+	case WriteReq:
+		return c.cfg.WriteQueueCap
+	default:
+		return c.cfg.RefreshQueueCap
+	}
+}
+
+func (c *Controller) noteOccupancy(ch *channel) {
+	if n := len(ch.queues[ReadReq]); n > c.stats.MaxReadQueue {
+		c.stats.MaxReadQueue = n
+	}
+	if n := len(ch.queues[WriteReq]); n > c.stats.MaxWriteQueue {
+		c.stats.MaxWriteQueue = n
+	}
+	if n := len(ch.queues[RefreshReq]); n > c.stats.MaxRefreshQueue {
+		c.stats.MaxRefreshQueue = n
+	}
+}
+
+// --- channel ---
+
+type bankState struct {
+	freeAt  timing.Time
+	openTag uint64
+	hasOpen bool
+	wr      *inflightWrite // in-flight (possibly paused) write occupying the bank
+}
+
+// inflightWrite tracks a write pulse that may be paused at SET-iteration
+// boundaries. A fresh run starts with the RESET phase; resumed runs are
+// pure SET iterations.
+type inflightWrite struct {
+	req          *Request
+	bank         int
+	runStart     timing.Time
+	runHasReset  bool
+	setsLeft     int // SET iterations outstanding at runStart
+	paused       bool
+	pausePending bool
+	completion   *timing.Event
+}
+
+// completionTime returns when the current run would finish unpaused.
+func (w *inflightWrite) completionTime() timing.Time {
+	t := w.runStart
+	if w.runHasReset {
+		t += pcm.ResetPulse
+	}
+	return t + timing.Time(w.setsLeft)*pcm.SetPulse
+}
+
+// pauseBoundary returns the earliest instant at or after t where the run
+// can pause (end of RESET or end of a SET iteration), and whether pausing
+// there is useful (i.e. strictly before completion).
+func (w *inflightWrite) pauseBoundary(t timing.Time) (timing.Time, bool) {
+	resetEnd := w.runStart
+	if w.runHasReset {
+		resetEnd += pcm.ResetPulse
+	}
+	var b timing.Time
+	if t <= resetEnd {
+		b = resetEnd
+	} else {
+		k := (t - resetEnd + pcm.SetPulse - 1) / pcm.SetPulse
+		b = resetEnd + k*pcm.SetPulse
+	}
+	return b, b < w.completionTime()
+}
+
+// setsDoneBy returns completed SET iterations of this run at boundary b.
+func (w *inflightWrite) setsDoneBy(b timing.Time) int {
+	resetEnd := w.runStart
+	if w.runHasReset {
+		resetEnd += pcm.ResetPulse
+	}
+	if b <= resetEnd {
+		return 0
+	}
+	return int((b - resetEnd) / pcm.SetPulse)
+}
+
+type channel struct {
+	ctl *Controller
+	id  int
+
+	queues [numKinds][]*Request
+	banks  []bankState
+
+	busFreeAt timing.Time
+	actTimes  []timing.Time // ring buffer of recent activations
+	actIdx    int
+
+	spaceWaiters [numKinds][]func(now timing.Time)
+	wakeupAt     timing.Time
+	wakeupEv     *timing.Event
+	draining     bool
+}
+
+// forwards reports whether a queued write or refresh covers block addr.
+func (ch *channel) forwards(addr uint64) bool {
+	blk := addr &^ 63
+	for _, kind := range []RequestKind{WriteReq, RefreshReq} {
+		for _, r := range ch.queues[kind] {
+			if r.Addr&^63 == blk {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// kick starts every transaction that can begin now, then arms a wakeup
+// for the earliest future opportunity.
+func (ch *channel) kick(now timing.Time) {
+	for ch.tryStart(now) {
+	}
+	ch.armWakeup(now)
+}
+
+// bankFreeForRead: the bank is idle, or holds only a paused write.
+func (ch *channel) bankFreeForRead(b *bankState, now timing.Time) bool {
+	return b.freeAt <= now && (b.wr == nil || b.wr.paused)
+}
+
+// bankFreeForWrite: the bank is idle with no in-flight write at all.
+func (ch *channel) bankFreeForWrite(b *bankState, now timing.Time) bool {
+	return b.freeAt <= now && b.wr == nil
+}
+
+// tryStart attempts to begin one transaction; it returns true if a bank
+// was newly occupied (so the caller loops).
+func (ch *channel) tryStart(now timing.Time) bool {
+	ch.updateDrainMode()
+
+	// Refresh queue: highest priority (hard retention deadline).
+	for i, r := range ch.queues[RefreshReq] {
+		if ch.bankFreeForWrite(&ch.banks[r.loc.Bank], now) {
+			ch.dequeue(RefreshReq, i, now)
+			ch.startWrite(r, now)
+			return true
+		}
+	}
+
+	if ch.draining {
+		// Drain mode: writes own the channel until the queue falls to
+		// the low watermark; reads may still slip onto idle banks no
+		// write wants.
+		if ch.tryResume(now, false) || ch.tryWrite(now) {
+			return true
+		}
+		if idx := ch.pickRead(now); idx >= 0 {
+			r := ch.queues[ReadReq][idx]
+			ch.dequeue(ReadReq, idx, now)
+			ch.startRead(r, now)
+			return true
+		}
+		return false
+	}
+
+	// Normal mode: reads first (FR-FCFS), pausing in-flight writes.
+	if idx := ch.pickRead(now); idx >= 0 {
+		r := ch.queues[ReadReq][idx]
+		ch.dequeue(ReadReq, idx, now)
+		ch.startRead(r, now)
+		return true
+	}
+	if ch.ctl.cfg.WritePausing {
+		for _, r := range ch.queues[ReadReq] {
+			b := &ch.banks[r.loc.Bank]
+			if b.wr != nil && !b.wr.paused && !b.wr.pausePending {
+				ch.requestPause(b.wr, now)
+			}
+		}
+	}
+	if ch.tryResume(now, true) {
+		return true
+	}
+	return ch.tryWrite(now)
+}
+
+// updateDrainMode applies the write-queue watermark hysteresis.
+func (ch *channel) updateDrainMode() {
+	n := len(ch.queues[WriteReq])
+	if !ch.draining && n >= ch.ctl.cfg.WriteDrainHigh {
+		ch.draining = true
+		ch.ctl.stats.DrainEntries++
+	} else if ch.draining && n <= ch.ctl.cfg.WriteDrainLow {
+		ch.draining = false
+	}
+}
+
+// tryResume restarts one paused write on a free bank. Outside drain mode
+// a waiting read keeps the write paused (respectReads).
+func (ch *channel) tryResume(now timing.Time, respectReads bool) bool {
+	for i := range ch.banks {
+		b := &ch.banks[i]
+		if b.wr != nil && b.wr.paused && b.freeAt <= now &&
+			(!respectReads || !ch.readWaitingFor(i)) {
+			ch.resumeWrite(b.wr, now)
+			return true
+		}
+	}
+	return false
+}
+
+// tryWrite starts the oldest startable demand write.
+func (ch *channel) tryWrite(now timing.Time) bool {
+	for i, r := range ch.queues[WriteReq] {
+		if ch.bankFreeForWrite(&ch.banks[r.loc.Bank], now) {
+			ch.dequeue(WriteReq, i, now)
+			ch.startWrite(r, now)
+			return true
+		}
+	}
+	return false
+}
+
+// readWaitingFor reports whether any queued read targets bank.
+func (ch *channel) readWaitingFor(bank int) bool {
+	for _, r := range ch.queues[ReadReq] {
+		if r.loc.Bank == bank {
+			return true
+		}
+	}
+	return false
+}
+
+// pickRead selects the next read per FR-FCFS: the oldest row-buffer hit
+// on a serviceable bank, else the oldest read on a serviceable bank.
+// Row misses additionally require a tFAW activation slot.
+func (ch *channel) pickRead(now timing.Time) int {
+	oldest := -1
+	for i, r := range ch.queues[ReadReq] {
+		b := &ch.banks[r.loc.Bank]
+		if !ch.bankFreeForRead(b, now) {
+			continue
+		}
+		if b.hasOpen && b.openTag == ch.ctl.amap.RowBufferTag(r.Addr) {
+			return i // row-buffer hit wins immediately (queue is FIFO-ordered)
+		}
+		if oldest < 0 && ch.actAllowedAt(now) <= now {
+			oldest = i
+		}
+	}
+	return oldest
+}
+
+// actAllowedAt returns the earliest time a new activation may issue under
+// the tFAW window.
+func (ch *channel) actAllowedAt(now timing.Time) timing.Time {
+	earliest := ch.actTimes[ch.actIdx] + ch.ctl.cfg.TFAW
+	if earliest < now {
+		return now
+	}
+	return earliest
+}
+
+func (ch *channel) recordACT(t timing.Time) {
+	ch.actTimes[ch.actIdx] = t
+	ch.actIdx = (ch.actIdx + 1) % len(ch.actTimes)
+}
+
+// dequeue removes index i of the given queue and wakes space waiters.
+func (ch *channel) dequeue(kind RequestKind, i int, now timing.Time) {
+	q := ch.queues[kind]
+	copy(q[i:], q[i+1:])
+	q[len(q)-1] = nil
+	ch.queues[kind] = q[:len(q)-1]
+	if len(ch.spaceWaiters[kind]) > 0 && len(ch.queues[kind]) < ch.ctl.queueCap(kind) {
+		waiters := ch.spaceWaiters[kind]
+		ch.spaceWaiters[kind] = nil
+		// Deliver on a fresh event: waiters re-enqueue requests, which
+		// must not re-enter the scheduler while it is mid-scan.
+		ch.ctl.eq.Schedule(now, func(t timing.Time) {
+			for _, fn := range waiters {
+				fn(t)
+			}
+		})
+	}
+}
+
+// startRead occupies the bank and bus for a read transaction.
+func (ch *channel) startRead(r *Request, now timing.Time) {
+	cfg := &ch.ctl.cfg
+	b := &ch.banks[r.loc.Bank]
+	tag := ch.ctl.amap.RowBufferTag(r.Addr)
+
+	dataAt := now
+	if b.hasOpen && b.openTag == tag {
+		ch.ctl.stats.RowBufHits++
+	} else {
+		ch.ctl.stats.RowBufMisses++
+		ch.recordACT(now)
+		dataAt += cfg.TRCD
+		b.openTag = tag
+		b.hasOpen = true
+	}
+	dataAt += cfg.TCAS
+	xferStart := timing.Max(dataAt, ch.busFreeAt)
+	done := xferStart + cfg.BusXfer
+	ch.busFreeAt = done
+	ch.ctl.stats.BankBusy += done - now
+	b.freeAt = done
+
+	lat := done - r.enqueuedAt
+	ch.ctl.stats.ReadsServed++
+	ch.ctl.stats.ReadLatencySum += lat
+	if lat > ch.ctl.stats.ReadLatencyMax {
+		ch.ctl.stats.ReadLatencyMax = lat
+	}
+	ch.ctl.eq.Schedule(done, func(t timing.Time) {
+		ch.ctl.rec.RecordRead(r.Addr)
+		if r.OnDone != nil {
+			r.OnDone(t)
+		}
+		ch.kick(t)
+	})
+}
+
+// startWrite begins a demand write or refresh pulse (write-through: the
+// row buffer is bypassed and left untouched).
+func (ch *channel) startWrite(r *Request, now timing.Time) {
+	cfg := &ch.ctl.cfg
+	b := &ch.banks[r.loc.Bank]
+
+	xferStart := timing.Max(now, ch.busFreeAt)
+	pulseStart := xferStart + cfg.BusXfer
+	ch.busFreeAt = pulseStart
+
+	wr := &inflightWrite{
+		req:         r,
+		bank:        r.loc.Bank,
+		runStart:    pulseStart,
+		runHasReset: true,
+		setsLeft:    r.Mode.Sets(),
+	}
+	b.wr = wr
+	done := wr.completionTime()
+	b.freeAt = done
+	ch.ctl.stats.BankBusy += done - now
+	wr.completion = ch.ctl.eq.Schedule(done, func(t timing.Time) {
+		ch.completeWrite(wr, t)
+	})
+}
+
+// resumeWrite restarts a paused write's remaining SET iterations.
+func (ch *channel) resumeWrite(wr *inflightWrite, now timing.Time) {
+	b := &ch.banks[wr.bank]
+	wr.paused = false
+	wr.runStart = now
+	wr.runHasReset = false
+	done := wr.completionTime()
+	b.freeAt = done
+	ch.ctl.stats.BankBusy += done - now
+	wr.completion = ch.ctl.eq.Schedule(done, func(t timing.Time) {
+		ch.completeWrite(wr, t)
+	})
+}
+
+// requestPause arranges for wr to pause at its next iteration boundary.
+func (ch *channel) requestPause(wr *inflightWrite, now timing.Time) {
+	boundary, useful := wr.pauseBoundary(now)
+	if !useful {
+		return
+	}
+	wr.pausePending = true
+	ch.ctl.eq.Schedule(boundary, func(t timing.Time) {
+		ch.pauseAt(wr, t)
+	})
+}
+
+// pauseAt suspends wr at boundary time t (if it is still running).
+func (ch *channel) pauseAt(wr *inflightWrite, t timing.Time) {
+	wr.pausePending = false
+	if wr.paused || wr.completion == nil {
+		return // completed or already paused in the meantime
+	}
+	if wr.completionTime() <= t {
+		return // completion event at this same instant will handle it
+	}
+	ch.ctl.eq.Cancel(wr.completion)
+	wr.completion = nil
+	wr.setsLeft -= wr.setsDoneBy(t)
+	wr.runHasReset = false
+	wr.paused = true
+	b := &ch.banks[wr.bank]
+	b.freeAt = t
+	ch.ctl.stats.WritePauses++
+	ch.kick(t)
+}
+
+// completeWrite finishes a write or refresh pulse.
+func (ch *channel) completeWrite(wr *inflightWrite, t timing.Time) {
+	wr.completion = nil
+	b := &ch.banks[wr.bank]
+	b.wr = nil
+	r := wr.req
+	lat := t - r.enqueuedAt
+	if r.Kind == RefreshReq {
+		ch.ctl.stats.RefreshesServed++
+		ch.ctl.stats.RefreshLatencySum += lat
+		if lat > ch.ctl.stats.RefreshLatencyMax {
+			ch.ctl.stats.RefreshLatencyMax = lat
+		}
+	} else {
+		ch.ctl.stats.WritesServed++
+		ch.ctl.stats.WriteLatencySum += lat
+		if lat > ch.ctl.stats.WriteLatencyMax {
+			ch.ctl.stats.WriteLatencyMax = lat
+		}
+	}
+	ch.ctl.rec.RecordWrite(r.Addr, r.Mode, r.Wear)
+	if r.OnDone != nil {
+		r.OnDone(t)
+	}
+	ch.kick(t)
+}
+
+// armWakeup schedules a re-scan at the earliest future instant any
+// pending work could start.
+func (ch *channel) armWakeup(now timing.Time) {
+	pendingWork := false
+	for _, q := range ch.queues {
+		if len(q) > 0 {
+			pendingWork = true
+			break
+		}
+	}
+	if !pendingWork {
+		for i := range ch.banks {
+			if ch.banks[i].wr != nil && ch.banks[i].wr.paused {
+				pendingWork = true
+				break
+			}
+		}
+	}
+	if !pendingWork {
+		return
+	}
+	at := timing.Forever
+	for i := range ch.banks {
+		if ch.banks[i].freeAt > now && ch.banks[i].freeAt < at {
+			at = ch.banks[i].freeAt
+		}
+	}
+	if t := ch.actAllowedAt(now); t > now && t < at {
+		at = t
+	}
+	if ch.busFreeAt > now && ch.busFreeAt < at {
+		at = ch.busFreeAt
+	}
+	if at == timing.Forever {
+		return // everything is free; nothing further will unblock by time alone
+	}
+	if ch.wakeupEv != nil {
+		if ch.wakeupAt <= at {
+			return // an earlier or equal wakeup is already armed
+		}
+		// A later wakeup is pending: replace it, or the heap fills
+		// with dead events.
+		ch.ctl.eq.Cancel(ch.wakeupEv)
+	}
+	ch.wakeupAt = at
+	ch.wakeupEv = ch.ctl.eq.Schedule(at, func(t timing.Time) {
+		ch.wakeupEv = nil
+		ch.kick(t)
+	})
+}

@@ -1,0 +1,165 @@
+package memctrl
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rrmpcm/internal/pcm"
+	"rrmpcm/internal/timing"
+)
+
+// TestEveryRequestCompletes is the controller's liveness property: any
+// admitted request completes exactly once, regardless of the mix.
+func TestEveryRequestCompletes(t *testing.T) {
+	f := func(seed uint32, nOps uint8) bool {
+		r := newRig(t, nil)
+		state := uint64(seed) | 1
+		next := func() uint64 {
+			state ^= state << 13
+			state ^= state >> 7
+			state ^= state << 17
+			return state
+		}
+		want := 0
+		got := map[int]int{}
+		for i := 0; i < int(nOps); i++ {
+			id := i
+			req := &Request{
+				Addr:   next() % (8 << 30),
+				OnDone: func(timing.Time) { got[id]++ },
+			}
+			switch next() % 3 {
+			case 0:
+				req.Kind = ReadReq
+			case 1:
+				req.Kind = WriteReq
+				req.Mode = pcm.Modes()[next()%5]
+				req.Wear = pcm.WearDemandWrite
+			default:
+				req.Kind = RefreshReq
+				req.Mode = pcm.Mode3SETs
+				req.Wear = pcm.WearRRMRefresh
+			}
+			if r.ctl.TryEnqueue(req) {
+				want++
+			}
+			// Interleave some progress so queues drain.
+			if i%7 == 0 {
+				r.eq.Step()
+			}
+		}
+		r.eq.Drain(1_000_000)
+		if r.ctl.Pending() {
+			return false
+		}
+		done := 0
+		for _, n := range got {
+			if n != 1 {
+				return false // completed zero or multiple times
+			}
+			done++
+		}
+		return done == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWorkConservation: total bank-busy time can never exceed
+// banks x elapsed time, and every served write accounts at least its
+// pulse latency of service.
+func TestWorkConservation(t *testing.T) {
+	r := newRig(t, nil)
+	state := uint64(99)
+	next := func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state
+	}
+	served := 0
+	for i := 0; i < 500; i++ {
+		req := &Request{Kind: WriteReq, Addr: next() % (8 << 30),
+			Mode: pcm.Mode7SETs, Wear: pcm.WearDemandWrite,
+			OnDone: func(timing.Time) { served++ }}
+		if !r.ctl.TryEnqueue(req) {
+			r.eq.Step()
+		}
+		if i%3 == 0 {
+			r.eq.Step()
+		}
+	}
+	r.run(t)
+	elapsed := r.eq.Now()
+	busy := r.ctl.Stats().BankBusy
+	if busy > elapsed*64 {
+		t.Errorf("bank busy %v exceeds %d banks x %v elapsed", busy, 64, elapsed)
+	}
+	minBusy := timing.Time(served) * pcm.Latency(pcm.Mode7SETs)
+	if busy < minBusy {
+		t.Errorf("bank busy %v below the %d writes' pulse time %v", busy, served, minBusy)
+	}
+}
+
+// TestPausedWriteConservesPulseWork: however often a write is paused,
+// the sum of its executed SET iterations equals the mode's total — its
+// completion time grows, never shrinks.
+func TestPausedWriteConservesPulseWork(t *testing.T) {
+	f := func(readGapsRaw [4]uint16) bool {
+		r := newRig(t, func(c *Config) { c.ReadForwarding = false })
+		var writeDone timing.Time
+		r.ctl.TryEnqueue(&Request{Kind: WriteReq, Addr: 0, Mode: pcm.Mode7SETs,
+			Wear: pcm.WearDemandWrite, OnDone: func(now timing.Time) { writeDone = now }})
+		at := 30 * timing.Nanosecond
+		for _, g := range readGapsRaw {
+			at += timing.Time(g%1000) * timing.Nanosecond
+			at = timing.Max(at, r.eq.Now())
+			r.eq.RunUntil(at)
+			if writeDone != 0 {
+				break
+			}
+			r.ctl.TryEnqueue(&Request{Kind: ReadReq, Addr: 64})
+		}
+		r.eq.Drain(1_000_000)
+		// Unpaused minimum: bus transfer + full pulse.
+		min := timing.MemCycles(8) + pcm.Latency(pcm.Mode7SETs)
+		return writeDone >= min
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDrainModeHysteresis: a channel enters drain mode at the high
+// watermark and the write queue never exceeds its capacity.
+func TestDrainModeHysteresis(t *testing.T) {
+	r := newRig(t, func(c *Config) {
+		c.WriteQueueCap = 16
+		c.WriteDrainHigh = 8
+		c.WriteDrainLow = 2
+		c.ReadForwarding = false
+	})
+	// Flood one bank with writes, reads interleaved.
+	enqueued := 0
+	for i := 0; i < 200; i++ {
+		req := &Request{Kind: WriteReq, Addr: uint64(i) << 20, Mode: pcm.Mode7SETs, Wear: pcm.WearDemandWrite}
+		if r.ctl.TryEnqueue(req) {
+			enqueued++
+		}
+		r.ctl.TryEnqueue(&Request{Kind: ReadReq, Addr: uint64(i)<<20 + 64})
+		if r.ctl.QueueLen(0, WriteReq) > 16 {
+			t.Fatal("write queue exceeded capacity")
+		}
+		if i%2 == 0 {
+			r.eq.Step()
+		}
+	}
+	r.run(t)
+	if r.ctl.Stats().DrainEntries == 0 {
+		t.Error("flood never triggered drain mode")
+	}
+	if enqueued == 0 {
+		t.Error("nothing enqueued")
+	}
+}

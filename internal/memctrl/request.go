@@ -1,0 +1,84 @@
+// Package memctrl models the MLC PCM memory controller of Table V: four
+// channels of sixteen banks, each channel with three priority queues
+// (RRM-refresh > read > write), FR-FCFS open-page scheduling for reads,
+// write-through writes that bypass the row buffer, per-mode write pulse
+// times, tFAW activation throttling, and the Write Pausing technique of
+// Qureshi et al. (reads may pause an in-flight write at SET-iteration
+// boundaries).
+//
+// The controller is event-driven against a timing.EventQueue and reports
+// completed requests through per-request callbacks. Enqueue attempts can
+// fail when a queue is full; callers subscribe to space notifications for
+// backpressure (a full write queue is exactly how slow writes throttle
+// the cores in the paper's experiments).
+package memctrl
+
+import (
+	"fmt"
+
+	"rrmpcm/internal/pcm"
+	"rrmpcm/internal/timing"
+)
+
+// RequestKind selects the queue (and priority class) of a request.
+type RequestKind int
+
+const (
+	// ReadReq is a demand read (LLC miss fill). Middle priority.
+	ReadReq RequestKind = iota
+	// WriteReq is a demand write (LLC dirty writeback). Lowest priority.
+	WriteReq
+	// RefreshReq is an RRM-issued refresh write. Highest priority: it
+	// has a hard retention deadline.
+	RefreshReq
+
+	numKinds
+)
+
+// String implements fmt.Stringer.
+func (k RequestKind) String() string {
+	switch k {
+	case ReadReq:
+		return "read"
+	case WriteReq:
+		return "write"
+	case RefreshReq:
+		return "refresh"
+	default:
+		return fmt.Sprintf("RequestKind(%d)", int(k))
+	}
+}
+
+// Request is one memory transaction. Writes and refreshes carry the write
+// mode the policy selected (the "Memory Write Request with Write Mode" of
+// paper Figure 5) and a wear class for accounting.
+type Request struct {
+	Kind RequestKind
+	Addr uint64
+	Mode pcm.WriteMode // writes and refreshes only
+	Wear pcm.WearKind  // writes and refreshes only
+
+	// OnDone, if non-nil, fires when the transaction completes (data
+	// returned for reads; write pulse finished for writes).
+	OnDone func(now timing.Time)
+
+	enqueuedAt timing.Time
+	loc        pcm.Location
+}
+
+// Recorder receives completed-transaction notifications for wear and
+// energy accounting. The simulator wires it to the pcm trackers; tests
+// can substitute fakes.
+type Recorder interface {
+	RecordWrite(addr uint64, mode pcm.WriteMode, kind pcm.WearKind)
+	RecordRead(addr uint64)
+}
+
+// NopRecorder discards all notifications.
+type NopRecorder struct{}
+
+// RecordWrite implements Recorder.
+func (NopRecorder) RecordWrite(uint64, pcm.WriteMode, pcm.WearKind) {}
+
+// RecordRead implements Recorder.
+func (NopRecorder) RecordRead(uint64) {}

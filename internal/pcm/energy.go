@@ -1,0 +1,108 @@
+package pcm
+
+// Energy accounting.
+//
+// Absolute write energy is anchored to the circuit parameters of the 20 nm
+// chip (1.8 V supply, Table I currents and pulse widths) and the relative
+// energies of the modes follow Table I's normalized-energy column, which
+// comes from Li et al.'s cell energy model. Reads are tracked too, but the
+// paper's Figure 10 reports only write + refresh energy.
+
+// SupplyVoltage is the PCM write supply (the ISSCC 2012 chip is a 1.8 V
+// part).
+const SupplyVoltage = 1.8
+
+// CellBits is the number of digital bits stored per MLC cell.
+const CellBits = 2
+
+// cellWriteEnergy7 returns the absolute per-cell energy of a 7-SETs write
+// in joules: the RESET pulse plus seven SET iterations at the Table I
+// current.
+func cellWriteEnergy7() float64 {
+	reset := SupplyVoltage * ResetCurrentUA * 1e-6 * ResetPulse.Seconds()
+	set := SupplyVoltage * Spec(Mode7SETs).SetCurrentUA * 1e-6 * SetPulse.Seconds() * 7
+	return reset + set
+}
+
+// CellWriteEnergy returns the absolute per-cell write energy of mode m in
+// joules: the mode-7 anchor scaled by the Table I normalized energy.
+func CellWriteEnergy(m WriteMode) float64 {
+	return cellWriteEnergy7() * Spec(m).NormEnergy
+}
+
+// ReadEnergyPerCell is the sensing energy per cell read, in joules. PCM
+// reads are low-current resistive senses; 1 pJ/cell is a representative
+// figure and only affects the (unreported) read-energy line.
+const ReadEnergyPerCell = 1e-12
+
+// BlockWriteEnergy returns the energy of writing one memory block of
+// blockBytes bytes with mode m, in joules.
+func BlockWriteEnergy(blockBytes uint64, m WriteMode) float64 {
+	cells := float64(blockBytes*8) / CellBits
+	return cells * CellWriteEnergy(m)
+}
+
+// BlockReadEnergy returns the energy of reading one memory block, in
+// joules.
+func BlockReadEnergy(blockBytes uint64) float64 {
+	cells := float64(blockBytes*8) / CellBits
+	return cells * ReadEnergyPerCell
+}
+
+// EnergyMeter accumulates memory energy by cause.
+type EnergyMeter struct {
+	blockBytes uint64
+
+	writeJ   [numWearKinds]float64
+	readJ    float64
+	readOps  uint64
+	writeOps [numWearKinds]uint64
+}
+
+// NewEnergyMeter returns a meter for the given block size.
+func NewEnergyMeter(blockBytes uint64) *EnergyMeter {
+	return &EnergyMeter{blockBytes: blockBytes}
+}
+
+// AddBlockWrite charges one block write of mode m caused by kind.
+func (e *EnergyMeter) AddBlockWrite(m WriteMode, kind WearKind) {
+	e.writeJ[kind] += BlockWriteEnergy(e.blockBytes, m)
+	e.writeOps[kind]++
+}
+
+// AddBlockWrites charges count identical block writes at once (analytic
+// refresh streams).
+func (e *EnergyMeter) AddBlockWrites(count uint64, m WriteMode, kind WearKind) {
+	e.writeJ[kind] += float64(count) * BlockWriteEnergy(e.blockBytes, m)
+	e.writeOps[kind] += count
+}
+
+// AddBlockRead charges one block read.
+func (e *EnergyMeter) AddBlockRead() {
+	e.readJ += BlockReadEnergy(e.blockBytes)
+	e.readOps++
+}
+
+// WriteEnergy returns joules consumed by writes of the given kind.
+func (e *EnergyMeter) WriteEnergy(kind WearKind) float64 { return e.writeJ[kind] }
+
+// DemandWriteEnergy returns joules of program-demand writes.
+func (e *EnergyMeter) DemandWriteEnergy() float64 { return e.writeJ[WearDemandWrite] }
+
+// RefreshEnergy returns joules of all refresh causes combined (RRM fast
+// refresh, decay/eviction slow refresh, global refresh).
+func (e *EnergyMeter) RefreshEnergy() float64 {
+	return e.writeJ[WearRRMRefresh] + e.writeJ[WearSlowRefresh] + e.writeJ[WearGlobalRefresh]
+}
+
+// ReadEnergy returns joules of reads.
+func (e *EnergyMeter) ReadEnergy() float64 { return e.readJ }
+
+// TotalEnergy returns all accounted joules.
+func (e *EnergyMeter) TotalEnergy() float64 {
+	t := e.readJ
+	for _, j := range e.writeJ {
+		t += j
+	}
+	return t
+}

@@ -1,0 +1,77 @@
+package pcm
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCellWriteEnergyAnchor(t *testing.T) {
+	// 7-SETs: 1.8V * (50uA*100ns + 7*30uA*150ns) = 9pJ + 56.7pJ = 65.7pJ.
+	want := 65.7e-12
+	got := CellWriteEnergy(Mode7SETs)
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Errorf("7-SETs cell energy = %.3g J, want %.3g J", got, want)
+	}
+}
+
+func TestNormalizedEnergiesMatchTable1(t *testing.T) {
+	e7 := CellWriteEnergy(Mode7SETs)
+	want := map[WriteMode]float64{
+		Mode3SETs: 0.840, Mode4SETs: 0.869, Mode5SETs: 0.972,
+		Mode6SETs: 0.975, Mode7SETs: 1.000,
+	}
+	for m, norm := range want {
+		got := CellWriteEnergy(m) / e7
+		if math.Abs(got-norm) > 1e-9 {
+			t.Errorf("%v normalized energy = %v, want %v", m, got, norm)
+		}
+	}
+}
+
+func TestBlockEnergies(t *testing.T) {
+	// 64 B = 512 bits = 256 MLC cells.
+	if got, want := BlockWriteEnergy(64, Mode7SETs), 256*CellWriteEnergy(Mode7SETs); got != want {
+		t.Errorf("block write energy = %g, want %g", got, want)
+	}
+	if got, want := BlockReadEnergy(64), 256*ReadEnergyPerCell; got != want {
+		t.Errorf("block read energy = %g, want %g", got, want)
+	}
+}
+
+func TestEnergyMeter(t *testing.T) {
+	m := NewEnergyMeter(64)
+	m.AddBlockWrite(Mode7SETs, WearDemandWrite)
+	m.AddBlockWrite(Mode3SETs, WearRRMRefresh)
+	m.AddBlockWrites(10, Mode7SETs, WearGlobalRefresh)
+	m.AddBlockRead()
+
+	if got := m.DemandWriteEnergy(); got != BlockWriteEnergy(64, Mode7SETs) {
+		t.Errorf("demand energy = %g", got)
+	}
+	wantRefresh := BlockWriteEnergy(64, Mode3SETs) + 10*BlockWriteEnergy(64, Mode7SETs)
+	if got := m.RefreshEnergy(); math.Abs(got-wantRefresh) > 1e-18 {
+		t.Errorf("refresh energy = %g, want %g", got, wantRefresh)
+	}
+	if got := m.ReadEnergy(); got != BlockReadEnergy(64) {
+		t.Errorf("read energy = %g", got)
+	}
+	wantTotal := m.DemandWriteEnergy() + m.RefreshEnergy() + m.ReadEnergy()
+	if got := m.TotalEnergy(); math.Abs(got-wantTotal) > 1e-18 {
+		t.Errorf("total = %g, want %g", got, wantTotal)
+	}
+	if got := m.WriteEnergy(WearSlowRefresh); got != 0 {
+		t.Errorf("slow refresh energy = %g, want 0", got)
+	}
+}
+
+func TestEnergyOrdering(t *testing.T) {
+	// More SET iterations must not cost less energy per the table.
+	prev := 0.0
+	for _, m := range Modes() {
+		e := CellWriteEnergy(m)
+		if e < prev {
+			t.Errorf("energy decreased at %v", m)
+		}
+		prev = e
+	}
+}

@@ -1,0 +1,122 @@
+// Package pcm models a Multi-Level-Cell Phase Change Memory main memory:
+// the write-latency vs. retention trade-off of individual cells (Table I of
+// the paper), the device geometry (channels, banks, rows, row buffers), and
+// wear/energy accounting used for lifetime estimation.
+//
+// Addresses are plain uint64 byte addresses. The device interleaves them as
+//
+//	| row | segment(4b) | bank(4b) | channel(2b) | rowbuf offset(10b) |
+//
+// so one 1 KB row-buffer segment is contiguous, consecutive 1 KB segments
+// rotate across channels, and a 4 KB OS page occupies the same bank index
+// in all four channels (hot pages therefore concentrate bank pressure,
+// which is the contention mechanism the paper's results hinge on).
+package pcm
+
+import (
+	"fmt"
+
+	"rrmpcm/internal/timing"
+)
+
+// WriteMode identifies an MLC PCM write scheme by its number of SET
+// iterations. More SET iterations program more precisely, widening the
+// drift guardband and extending retention, at the cost of write latency.
+type WriteMode int
+
+// The five write modes of Table I. The numeric value is the SET count.
+const (
+	Mode3SETs WriteMode = 3
+	Mode4SETs WriteMode = 4
+	Mode5SETs WriteMode = 5
+	Mode6SETs WriteMode = 6
+	Mode7SETs WriteMode = 7
+)
+
+// Fastest and slowest bound the valid WriteMode range.
+const (
+	Fastest = Mode3SETs
+	Slowest = Mode7SETs
+)
+
+// Valid reports whether m is one of the five modeled write modes.
+func (m WriteMode) Valid() bool { return m >= Fastest && m <= Slowest }
+
+// Sets returns the number of SET iterations of the mode.
+func (m WriteMode) Sets() int { return int(m) }
+
+// String implements fmt.Stringer ("7-SETs-Write" style, as in the paper).
+func (m WriteMode) String() string {
+	if !m.Valid() {
+		return fmt.Sprintf("WriteMode(%d)", int(m))
+	}
+	return fmt.Sprintf("%d-SETs-Write", int(m))
+}
+
+// Cell-level circuit constants from the 20 nm PCM chip demonstration the
+// paper re-calculates Table I against (Choi et al., ISSCC 2012).
+const (
+	// ResetPulse is the duration of the single RESET pulse that starts
+	// every MLC write, independent of the SET count that follows.
+	ResetPulse = 100 * timing.Nanosecond
+	// SetPulse is the duration of one SET iteration.
+	SetPulse = 150 * timing.Nanosecond
+	// ResetCurrentUA is the RESET pulse current in microamperes.
+	ResetCurrentUA = 50.0
+)
+
+// ModeSpec describes one row of Table I: the electrical and timing
+// parameters of a write mode and the data retention it achieves.
+type ModeSpec struct {
+	Mode WriteMode
+	// SetCurrentUA is the per-iteration SET current in microamperes.
+	// Fewer iterations need a higher current to reach the target
+	// resistance band faster.
+	SetCurrentUA float64
+	// NormEnergy is the write energy normalized to the 7-SETs write,
+	// per Table I (derived from Li et al.'s energy model).
+	NormEnergy float64
+	// Retention is how long a freshly written cell keeps its value
+	// before resistance drift crosses the guardband.
+	Retention timing.Time
+	// Latency is the total write pulse time: one RESET plus
+	// Mode.Sets() SET iterations.
+	Latency timing.Time
+}
+
+// modeTable is Table I of the paper.
+var modeTable = [...]ModeSpec{
+	{Mode3SETs, 42, 0.840, timing.Nanoseconds(2.01e9), 550 * timing.Nanosecond},
+	{Mode4SETs, 37, 0.869, timing.Nanoseconds(24.05e9), 700 * timing.Nanosecond},
+	{Mode5SETs, 35, 0.972, timing.Nanoseconds(104.4e9), 850 * timing.Nanosecond},
+	{Mode6SETs, 32, 0.975, timing.Nanoseconds(991.4e9), 1000 * timing.Nanosecond},
+	{Mode7SETs, 30, 1.000, timing.Nanoseconds(3054.9e9), 1150 * timing.Nanosecond},
+}
+
+// Spec returns the Table I row for mode m. It panics on an invalid mode:
+// callers select modes from a fixed policy set, so an invalid mode is a
+// programming error, not an input error.
+func Spec(m WriteMode) ModeSpec {
+	if !m.Valid() {
+		panic(fmt.Sprintf("pcm: invalid write mode %d", int(m)))
+	}
+	return modeTable[int(m-Fastest)]
+}
+
+// Modes returns all write modes from fastest (3 SETs) to slowest (7 SETs).
+func Modes() []WriteMode {
+	return []WriteMode{Mode3SETs, Mode4SETs, Mode5SETs, Mode6SETs, Mode7SETs}
+}
+
+// Latency returns the total write pulse time of mode m.
+func Latency(m WriteMode) timing.Time { return Spec(m).Latency }
+
+// Retention returns the data retention of mode m.
+func Retention(m WriteMode) timing.Time { return Spec(m).Retention }
+
+// PulseLatency computes the write pulse time from first principles:
+// one RESET pulse plus sets SET iterations. Table I's latency column is
+// exactly this quantity; a unit test asserts the two agree.
+func PulseLatency(sets int) timing.Time {
+	return ResetPulse + timing.Time(sets)*SetPulse
+}

@@ -1,0 +1,170 @@
+package pcm
+
+import (
+	"testing"
+
+	"rrmpcm/internal/timing"
+)
+
+func TestTable1Latencies(t *testing.T) {
+	// Table I latency column, and the paper's claim that every write is
+	// one 100 ns RESET plus 150 ns SET iterations.
+	want := map[WriteMode]timing.Time{
+		Mode3SETs: 550 * timing.Nanosecond,
+		Mode4SETs: 700 * timing.Nanosecond,
+		Mode5SETs: 850 * timing.Nanosecond,
+		Mode6SETs: 1000 * timing.Nanosecond,
+		Mode7SETs: 1150 * timing.Nanosecond,
+	}
+	for m, w := range want {
+		if got := Latency(m); got != w {
+			t.Errorf("%v latency = %v, want %v", m, got, w)
+		}
+		if got := PulseLatency(m.Sets()); got != w {
+			t.Errorf("PulseLatency(%d) = %v, want %v", m.Sets(), got, w)
+		}
+	}
+}
+
+func TestTable1Retentions(t *testing.T) {
+	want := map[WriteMode]float64{ // seconds
+		Mode3SETs: 2.01,
+		Mode4SETs: 24.05,
+		Mode5SETs: 104.4,
+		Mode6SETs: 991.4,
+		Mode7SETs: 3054.9,
+	}
+	for m, w := range want {
+		got := Retention(m).Seconds()
+		if diff := got - w; diff > 1e-6 || diff < -1e-6 {
+			t.Errorf("%v retention = %gs, want %gs", m, got, w)
+		}
+	}
+}
+
+func TestRetentionMonotone(t *testing.T) {
+	modes := Modes()
+	for i := 1; i < len(modes); i++ {
+		if Retention(modes[i]) <= Retention(modes[i-1]) {
+			t.Errorf("retention not increasing: %v=%v, %v=%v",
+				modes[i-1], Retention(modes[i-1]), modes[i], Retention(modes[i]))
+		}
+		if Latency(modes[i]) <= Latency(modes[i-1]) {
+			t.Errorf("latency not increasing with SET count")
+		}
+		if Spec(modes[i]).SetCurrentUA >= Spec(modes[i-1]).SetCurrentUA {
+			t.Errorf("SET current should decrease with more iterations")
+		}
+	}
+}
+
+func TestModeValidity(t *testing.T) {
+	for _, m := range Modes() {
+		if !m.Valid() {
+			t.Errorf("%v should be valid", m)
+		}
+	}
+	for _, m := range []WriteMode{0, 1, 2, 8, -1} {
+		if m.Valid() {
+			t.Errorf("WriteMode(%d) should be invalid", int(m))
+		}
+	}
+}
+
+func TestSpecPanicsOnInvalidMode(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Spec(2) did not panic")
+		}
+	}()
+	Spec(WriteMode(2))
+}
+
+func TestModeString(t *testing.T) {
+	if s := Mode7SETs.String(); s != "7-SETs-Write" {
+		t.Errorf("String = %q", s)
+	}
+	if s := WriteMode(9).String(); s != "WriteMode(9)" {
+		t.Errorf("invalid String = %q", s)
+	}
+}
+
+func TestDriftModelReproducesTable1(t *testing.T) {
+	m := DefaultDriftModel()
+	specs, err := m.DeriveModeTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 5 {
+		t.Fatalf("derived %d modes, want 5", len(specs))
+	}
+	for _, s := range specs {
+		want := Spec(s.Mode)
+		if s.Latency != want.Latency {
+			t.Errorf("%v derived latency %v, want %v", s.Mode, s.Latency, want.Latency)
+		}
+		rel := (s.Retention.Seconds() - want.Retention.Seconds()) / want.Retention.Seconds()
+		if rel > 0.005 || rel < -0.005 {
+			t.Errorf("%v derived retention %.2fs, want %.2fs (rel err %.4f)",
+				s.Mode, s.Retention.Seconds(), want.Retention.Seconds(), rel)
+		}
+	}
+}
+
+func TestDriftPrecisionImprovesWithIterations(t *testing.T) {
+	m := DefaultDriftModel()
+	for i := 1; i < len(m.SigmaLog10); i++ {
+		if m.SigmaLog10[i] >= m.SigmaLog10[i-1] {
+			t.Errorf("sigma should shrink with more SET iterations: %v", m.SigmaLog10)
+		}
+	}
+	for _, s := range m.SigmaLog10 {
+		if s <= 0 || s > m.GuardbandMax/m.KSigma {
+			t.Errorf("sigma %v outside physical range", s)
+		}
+	}
+}
+
+func TestDriftExpired(t *testing.T) {
+	m := DefaultDriftModel()
+	for _, mode := range Modes() {
+		ret := Retention(mode)
+		if m.Expired(mode.Sets(), ret/2) {
+			t.Errorf("%v expired at half its retention", mode)
+		}
+		if !m.Expired(mode.Sets(), ret*2) {
+			t.Errorf("%v not expired at double its retention", mode)
+		}
+	}
+	if !m.Expired(99, timing.Second) {
+		t.Error("unknown SET count should be treated as expired")
+	}
+}
+
+func TestDriftShiftMonotone(t *testing.T) {
+	m := DefaultDriftModel()
+	if m.DriftedShift(0) != 0 {
+		t.Error("zero elapsed time must have zero drift")
+	}
+	prev := -1.0
+	for _, tt := range []timing.Time{timing.Microsecond, timing.Millisecond, timing.Second, 100 * timing.Second} {
+		d := m.DriftedShift(tt)
+		if d <= prev {
+			t.Errorf("drift not increasing at %v", tt)
+		}
+		prev = d
+	}
+}
+
+func TestGuardbandErrors(t *testing.T) {
+	m := DefaultDriftModel()
+	if _, err := m.Guardband(2); err == nil {
+		t.Error("Guardband(2) should error")
+	}
+	if _, err := m.Retention(8); err == nil {
+		t.Error("Retention(8) should error")
+	}
+	if g, err := m.Guardband(7); err != nil || g <= 0 {
+		t.Errorf("Guardband(7) = %v, %v", g, err)
+	}
+}

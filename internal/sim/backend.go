@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"rrmpcm/internal/cache"
+	"rrmpcm/internal/cpu"
+	"rrmpcm/internal/memctrl"
+	"rrmpcm/internal/pcm"
+	"rrmpcm/internal/timing"
+)
+
+// backend glues the cores to the hierarchy, write policy and memory
+// controller. It is the cpu.Backend implementation, the controller's
+// accounting Recorder, and the RRM's RefreshIssuer.
+//
+// Backpressure: when a dirty LLC victim cannot enter its channel's write
+// queue it is parked in a per-channel overflow list and every core that
+// produced overflow is throttled until all overflow drains — this models
+// the LLC blocking on eviction, which is how slow writes reach around and
+// strangle the cores in the paper's Static-7 results.
+type backend struct {
+	sys *System
+
+	// Per-channel overflow/pending lists, drained on queue space.
+	overflowWrites  [][]*memctrl.Request
+	overflowReads   [][]*memctrl.Request
+	pendingRefresh  [][]*memctrl.Request
+	spaceArmed      [3][]bool // [kind][channel]
+	totalOverflowWB int
+
+	throttled []bool // per core
+	stopped   bool   // end of run: drop further refreshes
+
+	// Peak backlog of RRM refreshes, for the deadline discussion.
+	maxRefreshBacklog int
+}
+
+func newBackend(sys *System) *backend {
+	ch := sys.cfg.Device.Channels
+	b := &backend{
+		sys:            sys,
+		overflowWrites: make([][]*memctrl.Request, ch),
+		overflowReads:  make([][]*memctrl.Request, ch),
+		pendingRefresh: make([][]*memctrl.Request, ch),
+		throttled:      make([]bool, len(sys.cfg.Workload.Cores)),
+	}
+	for k := range b.spaceArmed {
+		b.spaceArmed[k] = make([]bool, ch)
+	}
+	return b
+}
+
+// Access implements cpu.Backend.
+func (b *backend) Access(coreID int, addr uint64, store bool, now timing.Time, done func(timing.Time)) cpu.AccessReply {
+	kind := cache.Load
+	if store {
+		kind = cache.Store
+	}
+	res := b.sys.hier.Access(coreID, addr, kind, false)
+
+	// LLC write registrations feed the policy (RRM's learning input).
+	for i := 0; i < res.NumRegistrations; i++ {
+		reg := res.Registrations[i]
+		b.sys.policy.RegisterLLCWrite(reg.Addr, reg.WasDirty, now)
+	}
+
+	var reply cpu.AccessReply
+	switch res.Hit {
+	case cache.InL1:
+		// Fully pipelined.
+	case cache.InL2, cache.InLLC:
+		reply.Stall = timing.Time(float64(res.Latency) * b.sys.cfg.HitStallFactor)
+	case cache.InMemory:
+		reply.Pending = true
+		req := &memctrl.Request{Kind: memctrl.ReadReq, Addr: res.MemReadAddr, OnDone: done}
+		b.submitAt(now, req, coreID)
+	}
+
+	// Dirty LLC victims become memory writes with a policy-chosen mode.
+	for i := 0; i < res.NumMemWrites; i++ {
+		wb := res.MemWrites[i]
+		mode := b.sys.policy.DecideWriteMode(wb, now)
+		req := &memctrl.Request{Kind: memctrl.WriteReq, Addr: wb, Mode: mode, Wear: pcm.WearDemandWrite}
+		b.submitAt(now, req, coreID)
+	}
+	if b.totalOverflowWB > 0 {
+		reply.Throttle = true
+		b.throttled[coreID] = true
+	}
+	return reply
+}
+
+// submitAt delivers a request to the controller at the core-local time
+// now (which is at or after the event clock).
+func (b *backend) submitAt(now timing.Time, req *memctrl.Request, coreID int) {
+	b.sys.eq.Schedule(now, func(t timing.Time) {
+		b.submit(req, coreID, t)
+	})
+}
+
+// submit enqueues or parks a request.
+func (b *backend) submit(req *memctrl.Request, coreID int, now timing.Time) {
+	if b.sys.ctl.TryEnqueue(req) {
+		return
+	}
+	ch := b.sys.ctl.ChannelOf(req.Addr)
+	switch req.Kind {
+	case memctrl.WriteReq:
+		b.overflowWrites[ch] = append(b.overflowWrites[ch], req)
+		b.totalOverflowWB++
+		if coreID >= 0 {
+			b.throttled[coreID] = true
+			b.sys.cores[coreID].Throttle()
+		}
+	case memctrl.ReadReq:
+		b.overflowReads[ch] = append(b.overflowReads[ch], req)
+	case memctrl.RefreshReq:
+		b.pendingRefresh[ch] = append(b.pendingRefresh[ch], req)
+		if n := len(b.pendingRefresh[ch]); n > b.maxRefreshBacklog {
+			b.maxRefreshBacklog = n
+		}
+	}
+	b.armSpace(req.Kind, ch)
+}
+
+// armSpace subscribes (once) to queue-space notifications.
+func (b *backend) armSpace(kind memctrl.RequestKind, ch int) {
+	if b.spaceArmed[kind][ch] {
+		return
+	}
+	b.spaceArmed[kind][ch] = true
+	b.sys.ctl.OnSpace(kind, ch, func(now timing.Time) {
+		b.spaceArmed[kind][ch] = false
+		b.drain(kind, ch, now)
+	})
+}
+
+// drain moves parked requests of one kind into the freed queue.
+func (b *backend) drain(kind memctrl.RequestKind, ch int, now timing.Time) {
+	var list *[]*memctrl.Request
+	switch kind {
+	case memctrl.WriteReq:
+		list = &b.overflowWrites[ch]
+	case memctrl.ReadReq:
+		list = &b.overflowReads[ch]
+	default:
+		list = &b.pendingRefresh[ch]
+	}
+	for len(*list) > 0 {
+		req := (*list)[0]
+		if !b.sys.ctl.TryEnqueue(req) {
+			b.armSpace(kind, ch)
+			return
+		}
+		copy(*list, (*list)[1:])
+		(*list)[len(*list)-1] = nil
+		*list = (*list)[:len(*list)-1]
+		if kind == memctrl.WriteReq {
+			b.totalOverflowWB--
+		}
+	}
+	if kind == memctrl.WriteReq && b.totalOverflowWB == 0 {
+		b.resumeAll(now)
+	}
+}
+
+// resumeAll releases every throttled core.
+func (b *backend) resumeAll(now timing.Time) {
+	for id, th := range b.throttled {
+		if th {
+			b.throttled[id] = false
+			b.sys.cores[id].Resume(now)
+		}
+	}
+}
+
+// IssueRefresh implements core.RefreshIssuer for the RRM.
+func (b *backend) IssueRefresh(addr uint64, mode pcm.WriteMode, kind pcm.WearKind) {
+	if b.stopped {
+		return
+	}
+	req := &memctrl.Request{Kind: memctrl.RefreshReq, Addr: addr, Mode: mode, Wear: kind}
+	b.submit(req, -1, b.sys.eq.Now())
+}
+
+// RecordWrite implements memctrl.Recorder.
+func (b *backend) RecordWrite(addr uint64, mode pcm.WriteMode, kind pcm.WearKind) {
+	b.sys.wear.RecordBlockWrite(addr, mode, kind)
+	b.sys.energy.AddBlockWrite(mode, kind)
+	if b.sys.checker != nil {
+		b.sys.checker.onWrite(addr, mode, b.sys.eq.Now())
+	}
+}
+
+// RecordRead implements memctrl.Recorder.
+func (b *backend) RecordRead(addr uint64) {
+	b.sys.energy.AddBlockRead()
+	if b.sys.checker != nil {
+		b.sys.checker.onRead(addr, b.sys.eq.Now())
+	}
+}

@@ -1,0 +1,35 @@
+package sim
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"rrmpcm/internal/timing"
+	"rrmpcm/internal/trace"
+)
+
+// TestCalibrateMPKI is a manual harness: prints measured vs Table VII
+// MPKI for every workload. Run with CALIB=1.
+func TestCalibrateMPKI(t *testing.T) {
+	if os.Getenv("CALIB") == "" {
+		t.Skip("calibration harness; set CALIB=1")
+	}
+	paper := trace.PaperMPKI()
+	for _, w := range trace.Workloads() {
+		cfg := DefaultConfig(RRMScheme(), w)
+		cfg.Duration = 20 * timing.Millisecond
+		cfg.Warmup = 10 * timing.Millisecond
+		cfg.TimeScale = 50
+		sys, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := sys.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("%-11s MPKI=%6.2f (paper %6.2f)  IPC=%.3f wr/s=%.3g shortFrac=%.2f hot=%d\n",
+			w.Name, m.LLCMPKI, paper[w.Name], m.IPC, float64(m.WritesServed)/m.SimSeconds, m.ShortWriteFraction, m.HotEntries)
+	}
+}

@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"rrmpcm/internal/core"
+	"rrmpcm/internal/pcm"
+	"rrmpcm/internal/stats"
+	"rrmpcm/internal/timing"
+)
+
+// Metrics is everything one run reports. All rates are real-time rates:
+// demand quantities are measured directly; clock-driven refresh
+// quantities are de-scaled by TimeScale (see the package comment).
+type Metrics struct {
+	Scheme   string
+	Workload string
+
+	// SimSeconds is the measured (post-warmup) window.
+	SimSeconds float64
+	TimeScale  float64
+
+	// Performance.
+	Instructions uint64
+	IPC          float64 // sum of per-core IPC (paper's figures)
+	PerCoreIPC   []float64
+	LLCMPKI      float64
+
+	// Memory traffic in the measured window.
+	ReadsServed     uint64
+	WritesServed    uint64
+	RefreshesServed uint64
+	AvgReadLatency  timing.Time
+	MaxRefreshLat   timing.Time
+	RowBufHitRate   float64
+	WritePauses     uint64
+
+	// Write-mode split of demand writes.
+	WritesByMode       map[pcm.WriteMode]uint64
+	ShortWriteFraction float64
+
+	// Wear, as real block-writes per second, by cause.
+	WearDemandRate float64
+	WearRRMRate    float64
+	WearSlowRate   float64
+	WearGlobalRate float64
+	WearTotalRate  float64
+	LifetimeYears  float64
+
+	// Energy, as real power (watts) by cause, plus totals over the
+	// equivalent duration (the paper's 5 s window).
+	PowerDemandW   float64
+	PowerRefreshW  float64 // RRM + slow + global refresh
+	PowerReadW     float64
+	EquivSeconds   float64
+	EnergyDemandJ  float64
+	EnergyRefreshJ float64
+	EnergyTotalJ   float64
+
+	// RRM internals (zero value for static schemes).
+	RRM               core.Stats
+	HotEntries        int
+	HotBlocks         int
+	RefreshBacklogMax int
+
+	// Retention checking.
+	RetentionViolations uint64
+	FirstViolation      string
+}
+
+// collect subtracts the warmup snapshot and converts to real rates.
+func (s *System) collect(sn snapshot) Metrics {
+	m := Metrics{
+		Scheme:       s.cfg.Scheme.Name(),
+		Workload:     s.cfg.Workload.Name,
+		TimeScale:    s.cfg.TimeScale,
+		WritesByMode: map[pcm.WriteMode]uint64{},
+	}
+	window := s.cfg.Duration
+	m.SimSeconds = window.Seconds()
+
+	// Performance.
+	for i, c := range s.cores {
+		st := c.Stats()
+		insts := st.Instructions - sn.coreInsts[i]
+		cycles := (st.LocalTime - sn.coreTimes[i]).CPUCycles()
+		m.Instructions += insts
+		ipc := 0.0
+		if cycles > 0 {
+			ipc = float64(insts) / float64(cycles)
+		}
+		m.PerCoreIPC = append(m.PerCoreIPC, ipc)
+		m.IPC += ipc
+	}
+	llc := s.hier.LLC().Stats()
+	if m.Instructions > 0 {
+		m.LLCMPKI = float64(llc.Misses-sn.llcMisses) / float64(m.Instructions) * 1000
+	}
+
+	// Controller activity.
+	cs := s.ctl.Stats()
+	m.ReadsServed = cs.ReadsServed - sn.ctl.ReadsServed
+	m.WritesServed = cs.WritesServed - sn.ctl.WritesServed
+	m.RefreshesServed = cs.RefreshesServed - sn.ctl.RefreshesServed
+	m.AvgReadLatency = cs.AvgReadLatency()
+	m.MaxRefreshLat = cs.RefreshLatencyMax
+	m.RowBufHitRate = cs.RowBufHitRate()
+	m.WritePauses = cs.WritePauses - sn.ctl.WritePauses
+
+	// Write-mode split.
+	var shortW, totalW uint64
+	for _, mode := range pcm.Modes() {
+		n := s.wear.ByMode(mode) - sn.wearMode[mode]
+		if n > 0 {
+			m.WritesByMode[mode] = n
+		}
+		totalW += n
+		if mode < s.policy.GlobalRefreshMode() {
+			shortW += n
+		}
+	}
+	if totalW > 0 {
+		m.ShortWriteFraction = float64(shortW) / float64(totalW)
+	}
+
+	// Wear rates (real). Demand is measured directly. Selective (RRM)
+	// refreshes run on the accelerated retention clock but are sampled
+	// 1-in-sampling, so the divisor is TimeScale/sampling (1 for the
+	// built-in monitors, which sample at exactly TimeScale). Slow
+	// refreshes are decay-clock-driven and unsampled: de-scale fully.
+	// Global refresh is analytic.
+	sec := m.SimSeconds
+	k := s.cfg.TimeScale
+	rrmDiv := k / float64(s.refreshSampling())
+	m.WearDemandRate = float64(s.wear.ByKind(pcm.WearDemandWrite)-sn.wearKind[0]) / sec
+	m.WearRRMRate = float64(s.wear.ByKind(pcm.WearRRMRefresh)-sn.wearKind[1]) / sec / rrmDiv
+	m.WearSlowRate = float64(s.wear.ByKind(pcm.WearSlowRefresh)-sn.wearKind[2]) / sec / k
+	m.WearGlobalRate = stats.GlobalRefreshWearRate(s.cfg.Device, s.policy.GlobalRefreshMode())
+	m.WearTotalRate = m.WearDemandRate + m.WearRRMRate + m.WearSlowRate + m.WearGlobalRate
+	m.LifetimeYears = stats.LifetimeYears(s.cfg.Device, m.WearTotalRate)
+
+	// Energy (real watts).
+	m.PowerDemandW = (s.energy.WriteEnergy(pcm.WearDemandWrite) - sn.energyW[0]) / sec
+	rrmW := (s.energy.WriteEnergy(pcm.WearRRMRefresh) - sn.energyW[1]) / sec / rrmDiv
+	slowW := (s.energy.WriteEnergy(pcm.WearSlowRefresh) - sn.energyW[2]) / sec / k
+	globalW := m.WearGlobalRate * pcm.BlockWriteEnergy(s.cfg.Device.BlockBytes, s.policy.GlobalRefreshMode())
+	m.PowerRefreshW = rrmW + slowW + globalW
+	m.PowerReadW = (s.energy.ReadEnergy() - sn.energyR) / sec
+
+	equiv := s.cfg.EquivalentDuration
+	if equiv <= 0 {
+		equiv = 5 * timing.Second
+	}
+	m.EquivSeconds = equiv.Seconds()
+	m.EnergyDemandJ = m.PowerDemandW * m.EquivSeconds
+	m.EnergyRefreshJ = m.PowerRefreshW * m.EquivSeconds
+	m.EnergyTotalJ = m.EnergyDemandJ + m.EnergyRefreshJ + m.PowerReadW*m.EquivSeconds
+
+	// RRM internals.
+	if s.rrm != nil {
+		cur := s.rrm.Stats()
+		m.RRM = core.Stats{
+			Registrations:  cur.Registrations - sn.rrm.Registrations,
+			CleanFiltered:  cur.CleanFiltered - sn.rrm.CleanFiltered,
+			RegHits:        cur.RegHits - sn.rrm.RegHits,
+			RegMisses:      cur.RegMisses - sn.rrm.RegMisses,
+			Allocations:    cur.Allocations - sn.rrm.Allocations,
+			Evictions:      cur.Evictions - sn.rrm.Evictions,
+			EvictionFlush:  cur.EvictionFlush - sn.rrm.EvictionFlush,
+			Promotions:     cur.Promotions - sn.rrm.Promotions,
+			Demotions:      cur.Demotions - sn.rrm.Demotions,
+			FastRefreshes:  cur.FastRefreshes - sn.rrm.FastRefreshes,
+			SlowRefreshes:  cur.SlowRefreshes - sn.rrm.SlowRefreshes,
+			ShortDecisions: cur.ShortDecisions - sn.rrm.ShortDecisions,
+			LongDecisions:  cur.LongDecisions - sn.rrm.LongDecisions,
+		}
+		m.HotEntries, m.HotBlocks = s.rrm.HotEntries()
+		m.RefreshBacklogMax = s.backend.maxRefreshBacklog
+	}
+
+	if s.checker != nil {
+		m.RetentionViolations = s.checker.violations
+		m.FirstViolation = s.checker.firstViolation
+	}
+	return m
+}

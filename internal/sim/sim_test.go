@@ -1,0 +1,398 @@
+package sim
+
+import (
+	"testing"
+
+	"rrmpcm/internal/core"
+	"rrmpcm/internal/pcm"
+	"rrmpcm/internal/timing"
+	"rrmpcm/internal/trace"
+)
+
+// quickConfig returns a config small enough for unit tests: a light
+// workload, short window, aggressive retention-clock scaling.
+func quickConfig(t *testing.T, scheme Scheme, workload string) Config {
+	t.Helper()
+	w, err := trace.WorkloadByName(workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(scheme, w)
+	cfg.Duration = 3 * timing.Millisecond
+	cfg.Warmup = 1 * timing.Millisecond
+	cfg.TimeScale = 1000
+	return cfg
+}
+
+func TestConfigValidation(t *testing.T) {
+	w, _ := trace.WorkloadByName("hmmer")
+	base := DefaultConfig(RRMScheme(), w)
+	if err := base.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Workload.Cores = nil },
+		func(c *Config) { c.Workload.Cores = c.Workload.Cores[:2] },
+		func(c *Config) { c.Duration = 0 },
+		func(c *Config) { c.Warmup = -1 },
+		func(c *Config) { c.TimeScale = 0.5 },
+		func(c *Config) { c.HitStallFactor = 1.5 },
+		func(c *Config) { c.Scheme = StaticScheme(pcm.WriteMode(9)) },
+		func(c *Config) { c.Scheme = Scheme{Kind: SchemeRRM} },
+		func(c *Config) { c.Scheme = Scheme{Kind: SchemeCustom} },
+		func(c *Config) { c.Scheme = Scheme{Kind: SchemeKind(9)} },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig(RRMScheme(), w)
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestSchemeNames(t *testing.T) {
+	if got := StaticScheme(pcm.Mode7SETs).Name(); got != "Static-7-SETs" {
+		t.Errorf("static name = %q", got)
+	}
+	if got := RRMScheme().Name(); got != "RRM" {
+		t.Errorf("rrm name = %q", got)
+	}
+	if got := (Scheme{Kind: SchemeCustom}).Name(); got != "custom" {
+		t.Errorf("custom fallback name = %q", got)
+	}
+}
+
+func TestScaledRRM(t *testing.T) {
+	w, _ := trace.WorkloadByName("hmmer")
+	cfg := DefaultConfig(RRMScheme(), w)
+	cfg.TimeScale = 100
+	r := cfg.scaledRRM()
+	if r.FastRefreshInterval != 20*timing.Millisecond {
+		t.Errorf("scaled fast refresh = %v, want 20ms", r.FastRefreshInterval)
+	}
+	if r.DecayInterval != 1250*timing.Microsecond {
+		t.Errorf("scaled decay = %v, want 1.25ms", r.DecayInterval)
+	}
+	if got := cfg.scaledRetention(pcm.Mode3SETs); got != timing.Nanoseconds(2.01e9/100) {
+		t.Errorf("scaled retention = %v", got)
+	}
+}
+
+func TestRunProducesMetrics(t *testing.T) {
+	sys, err := New(quickConfig(t, RRMScheme(), "hmmer"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Scheme != "RRM" || m.Workload != "hmmer" {
+		t.Errorf("labels = %q/%q", m.Scheme, m.Workload)
+	}
+	if m.Instructions == 0 || m.IPC <= 0 {
+		t.Errorf("no progress: %+v", m)
+	}
+	if len(m.PerCoreIPC) != 4 {
+		t.Errorf("per-core IPC count = %d", len(m.PerCoreIPC))
+	}
+	if m.SimSeconds != 0.003 {
+		t.Errorf("sim seconds = %v", m.SimSeconds)
+	}
+	if m.LLCMPKI <= 0 {
+		t.Error("no MPKI")
+	}
+	if m.WearTotalRate <= 0 || m.LifetimeYears <= 0 {
+		t.Errorf("wear/lifetime: %v / %v", m.WearTotalRate, m.LifetimeYears)
+	}
+	if m.RetentionViolations != 0 {
+		t.Errorf("retention violations: %d (%s)", m.RetentionViolations, m.FirstViolation)
+	}
+	if m.EnergyTotalJ <= 0 {
+		t.Error("no energy")
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	run := func() Metrics {
+		sys, err := New(quickConfig(t, RRMScheme(), "hmmer"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := sys.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b := run(), run()
+	if a.Instructions != b.Instructions || a.IPC != b.IPC ||
+		a.WritesServed != b.WritesServed || a.RRM.FastRefreshes != b.RRM.FastRefreshes {
+		t.Errorf("runs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestSeedChangesOutcome(t *testing.T) {
+	cfg := quickConfig(t, RRMScheme(), "hmmer")
+	sysA, _ := New(cfg)
+	a, err := sysA.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 99
+	sysB, _ := New(cfg)
+	b, err := sysB.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Instructions == b.Instructions && a.WritesServed == b.WritesServed {
+		t.Error("different seeds produced identical traffic")
+	}
+}
+
+func TestStaticSchemeUsesOneMode(t *testing.T) {
+	for _, mode := range []pcm.WriteMode{pcm.Mode3SETs, pcm.Mode7SETs} {
+		sys, err := New(quickConfig(t, StaticScheme(mode), "hmmer"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := sys.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for got := range m.WritesByMode {
+			if got != mode {
+				t.Errorf("static-%d produced %v writes", mode.Sets(), got)
+			}
+		}
+		if m.RefreshesServed != 0 {
+			t.Errorf("static scheme served %d RRM refreshes", m.RefreshesServed)
+		}
+		// Global refresh wear rate must match the mode's retention.
+		want := float64(sys.cfg.Device.TotalBlocks()) / pcm.Retention(mode).Seconds()
+		if m.WearGlobalRate != want {
+			t.Errorf("global refresh rate = %g, want %g", m.WearGlobalRate, want)
+		}
+	}
+}
+
+func TestRRMSchemeSplitsModes(t *testing.T) {
+	cfg := quickConfig(t, RRMScheme(), "GemsFDTD")
+	cfg.Duration = 6 * timing.Millisecond
+	cfg.Warmup = 2 * timing.Millisecond
+	cfg.TimeScale = 500
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.WritesByMode[pcm.Mode3SETs] == 0 {
+		t.Error("RRM issued no short writes")
+	}
+	if m.WritesByMode[pcm.Mode7SETs] == 0 {
+		t.Error("RRM issued no long writes")
+	}
+	if m.ShortWriteFraction <= 0 || m.ShortWriteFraction >= 1 {
+		t.Errorf("short write fraction = %v", m.ShortWriteFraction)
+	}
+	if m.RRM.Promotions == 0 {
+		t.Error("no promotions")
+	}
+	if m.RetentionViolations != 0 {
+		t.Errorf("violations: %d (%s)", m.RetentionViolations, m.FirstViolation)
+	}
+}
+
+// slowPolicy is a trivial custom policy for the plug-in test.
+type slowPolicy struct{ core.Static }
+
+func TestCustomScheme(t *testing.T) {
+	w, _ := trace.WorkloadByName("hmmer")
+	cfg := DefaultConfig(Scheme{Kind: SchemeCustom, Custom: core.NewStatic(pcm.Mode5SETs)}, w)
+	cfg.Duration = 2 * timing.Millisecond
+	cfg.Warmup = 500 * timing.Microsecond
+	cfg.TimeScale = 1000
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Scheme != "Static-5-SETs" {
+		t.Errorf("scheme = %q", m.Scheme)
+	}
+	if m.WritesByMode[pcm.Mode5SETs] == 0 {
+		t.Error("custom policy unused")
+	}
+}
+
+func TestBackpressureThrottlesCores(t *testing.T) {
+	cfg := quickConfig(t, StaticScheme(pcm.Mode7SETs), "GemsFDTD")
+	cfg.Ctrl.WriteQueueCap = 4
+	cfg.Ctrl.WriteDrainHigh = 4
+	cfg.Ctrl.WriteDrainLow = 1
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	throttles := uint64(0)
+	for _, c := range sys.cores {
+		throttles += c.Stats().StallThrottle
+	}
+	if throttles == 0 {
+		t.Error("tiny write queue never throttled the cores")
+	}
+}
+
+func TestSchemeOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-scheme comparison is slow")
+	}
+	// The paper's headline ordering on a write-heavy workload:
+	// perf: Static-3 > RRM > Static-7; lifetime: Static-7 > RRM > Static-3.
+	run := func(s Scheme) Metrics {
+		w, _ := trace.WorkloadByName("GemsFDTD")
+		cfg := DefaultConfig(s, w)
+		cfg.Duration = 20 * timing.Millisecond
+		cfg.Warmup = 10 * timing.Millisecond
+		cfg.TimeScale = 100
+		sys, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := sys.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	s7 := run(StaticScheme(pcm.Mode7SETs))
+	s3 := run(StaticScheme(pcm.Mode3SETs))
+	rrm := run(RRMScheme())
+
+	if !(s3.IPC > rrm.IPC && rrm.IPC > s7.IPC) {
+		t.Errorf("IPC ordering broken: s3=%.3f rrm=%.3f s7=%.3f", s3.IPC, rrm.IPC, s7.IPC)
+	}
+	if !(s7.LifetimeYears > rrm.LifetimeYears && rrm.LifetimeYears > s3.LifetimeYears) {
+		t.Errorf("lifetime ordering broken: s7=%.2f rrm=%.2f s3=%.2f",
+			s7.LifetimeYears, rrm.LifetimeYears, s3.LifetimeYears)
+	}
+	if rrm.RetentionViolations+s3.RetentionViolations+s7.RetentionViolations != 0 {
+		t.Error("retention violations in ordering test")
+	}
+	if rrm.ShortWriteFraction < 0.3 {
+		t.Errorf("RRM short-write fraction only %.2f", rrm.ShortWriteFraction)
+	}
+}
+
+func TestRetentionCheckerUnit(t *testing.T) {
+	w, _ := trace.WorkloadByName("hmmer")
+	cfg := DefaultConfig(RRMScheme(), w)
+	cfg.TimeScale = 1
+	rc := newRetentionChecker(cfg)
+
+	// Short write then timely rewrite: fine.
+	rc.onWrite(0, pcm.Mode3SETs, 0)
+	rc.onWrite(0, pcm.Mode3SETs, timing.Second)
+	if rc.violations != 0 {
+		t.Error("timely rewrite flagged")
+	}
+	// Expired read.
+	rc.onRead(0, 4*timing.Second)
+	if rc.violations != 1 {
+		t.Errorf("expired read not flagged: %d", rc.violations)
+	}
+	// Long write clears tracking.
+	rc.onWrite(64, pcm.Mode7SETs, 0)
+	rc.onRead(64, 100*timing.Second)
+	if rc.violations != 1 {
+		t.Error("long-mode block tracked as short")
+	}
+	// finish flags unrefreshed leftovers.
+	rc.onWrite(128, pcm.Mode3SETs, 0)
+	rc.finish(10 * timing.Second)
+	if rc.violations != 2 {
+		t.Errorf("finish missed expiry: %d", rc.violations)
+	}
+	if rc.firstViolation == "" {
+		t.Error("no violation message")
+	}
+}
+
+func TestRetentionCheckerHorizon(t *testing.T) {
+	w, _ := trace.WorkloadByName("hmmer")
+	cfg := DefaultConfig(RRMScheme(), w)
+	cfg.TimeScale = 1
+	rc := newRetentionChecker(cfg)
+	rc.onWrite(0, pcm.Mode3SETs, 0)
+	rc.horizon = timing.Second // deadline (2.01s) is past the horizon
+	rc.finish(10 * timing.Second)
+	if rc.violations != 0 {
+		t.Error("post-horizon expiry flagged")
+	}
+}
+
+func TestMetricsEnergyConsistency(t *testing.T) {
+	sys, err := New(quickConfig(t, StaticScheme(pcm.Mode7SETs), "hmmer"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := m.EnergyDemandJ + m.EnergyRefreshJ + m.PowerReadW*m.EquivSeconds
+	if diff := m.EnergyTotalJ - sum; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("energy total %g != parts %g", m.EnergyTotalJ, sum)
+	}
+	if m.EquivSeconds != 5 {
+		t.Errorf("equivalent window = %v, want 5s", m.EquivSeconds)
+	}
+}
+
+func TestRefreshRateBookkeepingUnderTimeScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two multi-ms runs")
+	}
+	// DESIGN.md's scaling claim: the de-scaled selective-refresh wear
+	// rate is a real rate, so it must not scale with TimeScale (the
+	// hot-set size is workload property, not a clock one). Two runs at
+	// 2x different K should agree within noise.
+	run := func(k float64) Metrics {
+		w, _ := trace.WorkloadByName("GemsFDTD")
+		cfg := DefaultConfig(RRMScheme(), w)
+		cfg.Duration = 8 * timing.Millisecond
+		cfg.Warmup = 3 * timing.Millisecond
+		cfg.TimeScale = k
+		sys, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := sys.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b := run(250), run(500)
+	if a.WearRRMRate <= 0 || b.WearRRMRate <= 0 {
+		t.Fatalf("no selective-refresh wear measured: %g / %g", a.WearRRMRate, b.WearRRMRate)
+	}
+	ratio := a.WearRRMRate / b.WearRRMRate
+	if ratio < 0.4 || ratio > 2.5 {
+		t.Errorf("refresh wear rate scaled with K: %g at K=250 vs %g at K=500", a.WearRRMRate, b.WearRRMRate)
+	}
+	// Global refresh is analytic and exactly K-independent.
+	if a.WearGlobalRate != b.WearGlobalRate {
+		t.Error("global refresh rate depends on K")
+	}
+}

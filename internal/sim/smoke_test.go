@@ -1,0 +1,46 @@
+package sim
+
+import (
+	"fmt"
+	"os"
+	"rrmpcm/internal/pcm"
+	"rrmpcm/internal/timing"
+	"rrmpcm/internal/trace"
+	"testing"
+)
+
+// TestSmokeRun is a manual calibration harness: SMOKE_WORKLOAD selects
+// the workload (default GemsFDTD).
+func TestSmokeRun(t *testing.T) {
+	if os.Getenv("SMOKE") == "" {
+		t.Skip("calibration harness; set SMOKE=1")
+	}
+	name := os.Getenv("SMOKE_WORKLOAD")
+	if name == "" {
+		name = "GemsFDTD"
+	}
+	w, err := trace.WorkloadByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sch := range []Scheme{StaticScheme(pcm.Mode7SETs), StaticScheme(pcm.Mode4SETs), StaticScheme(pcm.Mode3SETs), RRMScheme()} {
+		cfg := DefaultConfig(sch, w)
+		cfg.Duration = 60 * timing.Millisecond
+		cfg.Warmup = 20 * timing.Millisecond
+		cfg.TimeScale = 50
+		sys, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := sys.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("%-14s IPC=%.3f MPKI=%.1f rd/s=%.3g wr/s=%.3g refr=%d shortFrac=%.2f wearRRM/s=%.3g life=%.2fy viol=%d hot=%d/%d rdLat=%v pause=%d thr=%d\n",
+			m.Scheme, m.IPC, m.LLCMPKI, float64(m.ReadsServed)/m.SimSeconds, float64(m.WritesServed)/m.SimSeconds, m.RefreshesServed, m.ShortWriteFraction,
+			m.WearRRMRate, m.LifetimeYears, m.RetentionViolations, m.HotEntries, m.HotBlocks, m.AvgReadLatency, m.WritePauses, m.RefreshBacklogMax)
+		if m.FirstViolation != "" {
+			fmt.Printf("   first violation: %s\n", m.FirstViolation)
+		}
+	}
+}

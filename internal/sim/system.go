@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"fmt"
+
+	"rrmpcm/internal/cache"
+	"rrmpcm/internal/core"
+	"rrmpcm/internal/cpu"
+	"rrmpcm/internal/memctrl"
+	"rrmpcm/internal/pcm"
+	"rrmpcm/internal/timing"
+	"rrmpcm/internal/trace"
+)
+
+// System is one fully assembled simulated machine.
+type System struct {
+	cfg Config
+
+	eq      *timing.EventQueue
+	amap    *pcm.AddressMap
+	wear    *pcm.WearTracker
+	energy  *pcm.EnergyMeter
+	hier    *cache.Hierarchy
+	ctl     *memctrl.Controller
+	policy  core.WritePolicy
+	rrm     *core.RRM // nil for static/custom schemes
+	cores   []*cpu.Core
+	backend *backend
+	checker *retentionChecker
+}
+
+// New assembles the system described by cfg.
+func New(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &System{cfg: cfg, eq: timing.NewEventQueue()}
+
+	var err error
+	s.amap, err = pcm.NewAddressMap(cfg.Device)
+	if err != nil {
+		return nil, err
+	}
+	s.wear = pcm.NewWearTracker(s.amap)
+	s.energy = pcm.NewEnergyMeter(cfg.Device.BlockBytes)
+	s.hier, err = cache.NewHierarchy(cfg.Hierarchy)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.CheckRetention {
+		s.checker = newRetentionChecker(cfg)
+	}
+	s.backend = newBackend(s)
+
+	s.ctl, err = memctrl.New(cfg.Ctrl, s.amap, s.eq, s.backend)
+	if err != nil {
+		return nil, err
+	}
+
+	switch cfg.Scheme.Kind {
+	case SchemeStatic:
+		s.policy = core.NewStatic(cfg.Scheme.StaticMode)
+	case SchemeRRM:
+		s.rrm, err = core.NewRRM(cfg.scaledRRM(), s.backend)
+		if err != nil {
+			return nil, err
+		}
+		s.policy = s.rrm
+	case SchemeCustom:
+		s.policy = cfg.Scheme.Custom
+		// Custom policies that issue selective refreshes (e.g. the
+		// multi-mode RRM) get the backend's refresh path.
+		if setter, ok := s.policy.(interface{ SetIssuer(core.RefreshIssuer) }); ok {
+			setter.SetIssuer(s.backend)
+		}
+	}
+
+	if s.checker != nil {
+		// The checker tracks exactly the blocks whose refreshes the
+		// policy actually simulates (see core.SampledBlock).
+		s.checker.sampling = s.refreshSampling()
+	}
+
+	span := cfg.Device.MemBytes / uint64(len(cfg.Workload.Cores))
+	for i, prof := range cfg.Workload.Cores {
+		gen, err := trace.NewMixture(prof, uint64(i)*span, span, cfg.Seed*1_000_003+uint64(i))
+		if err != nil {
+			return nil, err
+		}
+		ccfg := cpu.DefaultConfig(i)
+		if cfg.CoreROB > 0 {
+			ccfg.ROB = cfg.CoreROB
+		}
+		if cfg.CoreMSHRs > 0 {
+			ccfg.MSHRs = cfg.CoreMSHRs
+		}
+		c, err := cpu.New(ccfg, gen, s.backend, s.eq)
+		if err != nil {
+			return nil, err
+		}
+		s.cores = append(s.cores, c)
+	}
+	return s, nil
+}
+
+// RRM exposes the monitor for inspection (nil for static schemes).
+func (s *System) RRM() *core.RRM { return s.rrm }
+
+// refreshSampling returns the policy's simulated-refresh sampling factor
+// (1 when the policy simulates every refresh).
+func (s *System) refreshSampling() uint64 {
+	if p, ok := s.policy.(interface{ RefreshSampling() uint64 }); ok {
+		return p.RefreshSampling()
+	}
+	return 1
+}
+
+// Hierarchy exposes the cache hierarchy (read-only use).
+func (s *System) Hierarchy() *cache.Hierarchy { return s.hier }
+
+// Run executes the configured warmup + measurement window and returns the
+// collected metrics.
+func (s *System) Run() (Metrics, error) {
+	end := s.cfg.Warmup + s.cfg.Duration
+	for _, c := range s.cores {
+		c.StopAt(end)
+		c.Start()
+	}
+	if s.rrm != nil {
+		s.rrm.Start(s.eq)
+	}
+	if cust, ok := s.policy.(interface{ Start(*timing.EventQueue) }); ok && s.cfg.Scheme.Kind == SchemeCustom {
+		cust.Start(s.eq)
+	}
+
+	s.eq.RunUntil(s.cfg.Warmup)
+	snap := s.snapshot()
+
+	s.eq.RunUntil(end)
+
+	// Stop new refresh issue and drain in-flight memory traffic so the
+	// last writes are accounted. Expiries past this horizon are
+	// truncation artifacts, not policy violations.
+	s.backend.stopped = true
+	if s.checker != nil {
+		s.checker.horizon = end
+	}
+	deadline := end + 100*timing.Millisecond
+	for s.ctl.Pending() && s.eq.Now() < deadline {
+		s.eq.RunUntil(s.eq.Now() + timing.Millisecond)
+	}
+	if s.ctl.Pending() {
+		return Metrics{}, fmt.Errorf("sim: memory controller failed to drain after %v", deadline-end)
+	}
+	if s.checker != nil {
+		s.checker.finish(s.eq.Now())
+	}
+	return s.collect(snap), nil
+}
+
+// snapshot captures every counter the measurement window must subtract.
+type snapshot struct {
+	at        timing.Time
+	coreInsts []uint64
+	coreTimes []timing.Time
+	llcMisses uint64
+	llcAcc    uint64
+	ctl       memctrl.Stats
+	wearKind  [4]uint64
+	wearMode  map[pcm.WriteMode]uint64
+	energyW   [4]float64
+	energyR   float64
+	rrm       core.Stats
+}
+
+func (s *System) snapshot() snapshot {
+	sn := snapshot{
+		at:       s.eq.Now(),
+		ctl:      s.ctl.Stats(),
+		wearMode: map[pcm.WriteMode]uint64{},
+	}
+	for _, c := range s.cores {
+		st := c.Stats()
+		sn.coreInsts = append(sn.coreInsts, st.Instructions)
+		sn.coreTimes = append(sn.coreTimes, st.LocalTime)
+	}
+	llc := s.hier.LLC().Stats()
+	sn.llcMisses, sn.llcAcc = llc.Misses, llc.Accesses
+	for i, k := range pcm.WearKinds() {
+		sn.wearKind[i] = s.wear.ByKind(k)
+		sn.energyW[i] = s.energy.WriteEnergy(k)
+	}
+	for _, m := range pcm.Modes() {
+		sn.wearMode[m] = s.wear.ByMode(m)
+	}
+	sn.energyR = s.energy.ReadEnergy()
+	if s.rrm != nil {
+		sn.rrm = s.rrm.Stats()
+	}
+	return sn
+}

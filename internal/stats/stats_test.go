@@ -1,0 +1,169 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"rrmpcm/internal/pcm"
+	"rrmpcm/internal/timing"
+)
+
+func TestWearBudget(t *testing.T) {
+	dev := pcm.DefaultDeviceConfig()
+	// 5e6 endurance * 134217728 blocks * 0.95.
+	want := 5e6 * float64((8<<30)/64) * 0.95
+	if got := WearBudget(dev); got != want {
+		t.Errorf("budget = %g, want %g", got, want)
+	}
+}
+
+func TestStatic3LifetimeMatchesPaper(t *testing.T) {
+	// The paper's headline floor: Static-3's global refresh alone
+	// (every block each 2.01 s) limits lifetime to ~0.317 years.
+	dev := pcm.DefaultDeviceConfig()
+	rate := GlobalRefreshWearRate(dev, pcm.Mode3SETs)
+	years := LifetimeYears(dev, rate)
+	if math.Abs(years-0.30)/0.30 > 0.05 {
+		t.Errorf("Static-3 refresh-only lifetime = %.3f years, want ~0.30 (paper: 0.317)", years)
+	}
+}
+
+func TestStatic7RefreshWearIsSmall(t *testing.T) {
+	dev := pcm.DefaultDeviceConfig()
+	r3 := GlobalRefreshWearRate(dev, pcm.Mode3SETs)
+	r7 := GlobalRefreshWearRate(dev, pcm.Mode7SETs)
+	if r3 < 1000*r7 || r7 >= r3 {
+		t.Errorf("refresh wear rates r3=%g r7=%g: expected r3/r7 ~ 1520", r3, r7)
+	}
+	// Refresh-only lifetime for Static-7 is centuries; demand writes
+	// dominate its lifetime.
+	if years := LifetimeYears(dev, r7); years < 100 {
+		t.Errorf("Static-7 refresh-only lifetime = %.1f years, want > 100", years)
+	}
+}
+
+func TestLifetimeYears(t *testing.T) {
+	dev := pcm.DefaultDeviceConfig()
+	if !math.IsInf(LifetimeYears(dev, 0), 1) {
+		t.Error("zero wear should be infinite lifetime")
+	}
+	// Double wear rate halves lifetime.
+	a, b := LifetimeYears(dev, 1e6), LifetimeYears(dev, 2e6)
+	if math.Abs(a-2*b)/a > 1e-12 {
+		t.Errorf("lifetime not inversely proportional: %v vs %v", a, b)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if Geomean(nil) != 0 {
+		t.Error("empty geomean")
+	}
+	if got := Geomean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("geomean(2,8) = %v", got)
+	}
+	if got := Geomean([]float64{5}); math.Abs(got-5) > 1e-12 {
+		t.Errorf("geomean(5) = %v", got)
+	}
+	if Geomean([]float64{1, 0, 2}) != 0 {
+		t.Error("zero entry should zero the geomean")
+	}
+}
+
+func TestIntervalHistogramBuckets(t *testing.T) {
+	h := NewIntervalHistogram(1 << 30) // 262144 regions
+	// Region 0: written every 5 ms -> bucket 1e6-1e7 ns.
+	for i := 0; i < 10; i++ {
+		h.AddWrite(0, timing.Time(i)*5*timing.Millisecond)
+	}
+	// Region 1: written twice 1.5 s apart -> 1s-2s bucket.
+	h.AddWrite(4096, 0)
+	h.AddWrite(4096, 1500*timing.Millisecond)
+	// Region 2: once.
+	h.AddWrite(8192, timing.Second)
+	// Region 3: every 100 us -> sub-1e6ns bucket.
+	for i := 0; i < 5; i++ {
+		h.AddWrite(3*4096, timing.Time(i)*100*timing.Microsecond)
+	}
+
+	rows := h.Rows()
+	get := func(b IntervalBucket) Row {
+		for _, r := range rows {
+			if r.Bucket == b {
+				return r
+			}
+		}
+		t.Fatalf("bucket %v missing", b)
+		return Row{}
+	}
+	if r := get(Bucket1msTo10ms); r.Regions != 1 || r.Writes != 10 {
+		t.Errorf("1ms-10ms row = %+v", r)
+	}
+	if r := get(Bucket1sTo2s); r.Regions != 1 || r.Writes != 2 {
+		t.Errorf("1s-2s row = %+v", r)
+	}
+	if r := get(BucketWrittenOnce); r.Regions != 1 || r.Writes != 1 {
+		t.Errorf("written-once row = %+v", r)
+	}
+	if r := get(BucketSub1ms); r.Regions != 1 || r.Writes != 5 {
+		t.Errorf("sub-1ms row = %+v", r)
+	}
+	if r := get(BucketNeverWritten); r.Regions != (1<<30)/4096-4 {
+		t.Errorf("never-written = %d", r.Regions)
+	}
+	// Percentages sum to ~100 over write-carrying buckets.
+	var wp float64
+	for _, r := range rows {
+		wp += r.WritePercent
+	}
+	if math.Abs(wp-100) > 1e-9 {
+		t.Errorf("write percents sum to %v", wp)
+	}
+}
+
+func TestHotShare(t *testing.T) {
+	h := NewIntervalHistogram(1 << 30)
+	if h.HotShare(0.02) != 0 {
+		t.Error("empty histogram hot share")
+	}
+	// 10 hot regions with 1000 writes each, 1000 cold with 1.
+	for r := 0; r < 10; r++ {
+		for i := 0; i < 1000; i++ {
+			h.AddWrite(uint64(r)*4096, timing.Time(i)*timing.Microsecond)
+		}
+	}
+	for r := 100; r < 1100; r++ {
+		h.AddWrite(uint64(r)*4096, 0)
+	}
+	// Hottest 0.01% of 262144 regions = 26 regions >= the 10 hot ones.
+	share := h.HotShare(0.0001)
+	want := 10000.0 / 11000.0
+	if math.Abs(share-want) > 0.01 {
+		t.Errorf("hot share = %v, want ~%v", share, want)
+	}
+}
+
+func TestBucketStrings(t *testing.T) {
+	for b := IntervalBucket(0); b < numBuckets; b++ {
+		if strings.HasPrefix(b.String(), "IntervalBucket") {
+			t.Errorf("bucket %d missing label", int(b))
+		}
+	}
+}
+
+func TestTable(t *testing.T) {
+	if Table(nil) != "" {
+		t.Error("empty table")
+	}
+	out := Table([][]string{{"name", "val"}, {"a", "1"}, {"longer", "22"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines: %q", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "name") || !strings.Contains(lines[1], "---") {
+		t.Errorf("header malformed: %q", out)
+	}
+	if !strings.HasPrefix(lines[3], "longer") {
+		t.Errorf("row malformed: %q", lines[3])
+	}
+}

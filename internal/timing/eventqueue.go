@@ -1,0 +1,137 @@
+package timing
+
+import "container/heap"
+
+// Event is a callback scheduled to run at a particular simulation time.
+type Event struct {
+	At Time
+	Do func(now Time)
+
+	seq int64 // insertion order; ties at the same At run FIFO
+	idx int   // heap index, -1 when not queued
+}
+
+// EventQueue is a deterministic min-heap of events. Events scheduled for
+// the same instant fire in the order they were scheduled, which keeps
+// simulations reproducible regardless of map iteration or goroutine
+// scheduling (the simulator is single-threaded).
+type EventQueue struct {
+	h   eventHeap
+	seq int64
+	now Time
+}
+
+// NewEventQueue returns an empty queue whose clock starts at 0.
+func NewEventQueue() *EventQueue {
+	return &EventQueue{}
+}
+
+// Now returns the current simulation time: the At of the most recently
+// dispatched event.
+func (q *EventQueue) Now() Time { return q.now }
+
+// Len returns the number of pending events.
+func (q *EventQueue) Len() int { return len(q.h) }
+
+// Schedule enqueues fn to run at time at. Scheduling in the past (before
+// Now) is a programming error and panics, since it would silently reorder
+// causality.
+func (q *EventQueue) Schedule(at Time, fn func(now Time)) *Event {
+	if at < q.now {
+		panic("timing: event scheduled in the past")
+	}
+	ev := &Event{At: at, Do: fn, seq: q.seq}
+	q.seq++
+	heap.Push(&q.h, ev)
+	return ev
+}
+
+// After enqueues fn to run d after the current time.
+func (q *EventQueue) After(d Time, fn func(now Time)) *Event {
+	return q.Schedule(q.now+d, fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (q *EventQueue) Cancel(ev *Event) {
+	if ev == nil || ev.idx < 0 || ev.idx >= len(q.h) || q.h[ev.idx] != ev {
+		return
+	}
+	heap.Remove(&q.h, ev.idx)
+	ev.idx = -1
+}
+
+// PeekTime returns the time of the earliest pending event, or Forever if
+// the queue is empty.
+func (q *EventQueue) PeekTime() Time {
+	if len(q.h) == 0 {
+		return Forever
+	}
+	return q.h[0].At
+}
+
+// Step dispatches the earliest pending event, advancing the clock to its
+// time. It reports whether an event was dispatched.
+func (q *EventQueue) Step() bool {
+	if len(q.h) == 0 {
+		return false
+	}
+	ev := heap.Pop(&q.h).(*Event)
+	ev.idx = -1
+	q.now = ev.At
+	ev.Do(q.now)
+	return true
+}
+
+// RunUntil dispatches events in order until the next event would be after
+// deadline or the queue drains, then advances the clock to deadline.
+func (q *EventQueue) RunUntil(deadline Time) {
+	for len(q.h) > 0 && q.h[0].At <= deadline {
+		q.Step()
+	}
+	if q.now < deadline {
+		q.now = deadline
+	}
+}
+
+// Drain dispatches events until none remain. Intended for tests; a
+// simulation with periodic timers never drains.
+func (q *EventQueue) Drain(maxEvents int) int {
+	n := 0
+	for n < maxEvents && q.Step() {
+		n++
+	}
+	return n
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,200 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+)
+
+// Op is one unit of work from a generator: NonMem non-memory instructions
+// followed by a single memory access.
+type Op struct {
+	NonMem int
+	Addr   uint64
+	Store  bool
+}
+
+// Generator produces an infinite, deterministic instruction stream.
+type Generator interface {
+	// Next fills op with the next work unit.
+	Next(op *Op)
+	// Name identifies the benchmark.
+	Name() string
+}
+
+// Mixture is the three-component generator described in Profile.
+type Mixture struct {
+	prof Profile
+	rng  prng
+
+	base uint64 // address-space offset of this copy
+	span uint64 // address-space size available to this copy
+
+	avgNonMem float64
+
+	hotBases  []uint64 // region base addresses of the hot pool
+	streamPos uint64
+
+	// Hot-store sweep state: hot writes visit a region as a burst that
+	// sweeps its blocks in order (the spatial pattern of stencil /
+	// field-update codes), so a region's blocks are re-written at the
+	// region revisit interval — the temporal-locality signature the
+	// RRM's dirty-write filter detects. A uniform random spray would
+	// spread re-writes of one block 64x further apart and no LLC line
+	// would ever be re-dirtied while resident.
+	sweepBase uint64
+	sweepNext int
+	sweepLeft int
+
+	// revisitQueue holds regions awaiting their second sweep (paired
+	// sweeps; see Profile.SweepGapRegions).
+	revisitQueue []uint64
+}
+
+// NewMixture builds a generator for one benchmark copy. base/span carve
+// the copy's address-space partition (the paper runs 4 copies in 8 GB, so
+// each gets a 2 GB quarter); seed makes the stream unique per core.
+func NewMixture(prof Profile, base, span uint64, seed uint64) (*Mixture, error) {
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	if span == 0 {
+		return nil, fmt.Errorf("trace: zero address span")
+	}
+	if prof.WorkingSetBytes > span {
+		return nil, fmt.Errorf("trace %s: working set %d exceeds span %d",
+			prof.Name, prof.WorkingSetBytes, span)
+	}
+	m := &Mixture{
+		prof: prof,
+		rng:  newPRNG(seed),
+		base: base,
+		span: span,
+	}
+	// Average non-memory instructions between memory ops.
+	m.avgNonMem = (1 - prof.MemFraction) / prof.MemFraction
+
+	// Hot pool: distinct 4 KB regions scattered through the working
+	// set, chosen once per copy (deterministically from the seed).
+	if prof.HotRegions > 0 {
+		wsRegions := prof.WorkingSetBytes >> 12
+		if wsRegions == 0 {
+			wsRegions = 1
+		}
+		m.hotBases = make([]uint64, prof.HotRegions)
+		stride := wsRegions / uint64(prof.HotRegions)
+		if stride == 0 {
+			stride = 1
+		}
+		for i := range m.hotBases {
+			// Evenly spread with random jitter: scattered but stable.
+			region := (uint64(i)*stride + m.rng.next()%stride) % wsRegions
+			m.hotBases[i] = base + region<<12
+		}
+	}
+	return m, nil
+}
+
+// Name implements Generator.
+func (m *Mixture) Name() string { return m.prof.Name }
+
+// Next implements Generator.
+func (m *Mixture) Next(op *Op) {
+	// Geometric-ish gap around the profile average: uniform in
+	// [0, 2*avg] keeps the mean while varying the spacing (rounded,
+	// so truncation doesn't bias the mean down by half an
+	// instruction).
+	op.NonMem = int(m.rng.float64()*2*m.avgNonMem + 0.5)
+	u := m.rng.float64()
+	op.Store = u < m.prof.StoreFraction
+
+	var hotFrac, streamFrac float64
+	if op.Store {
+		hotFrac, streamFrac = m.prof.HotStoreFrac, m.prof.StreamStoreFrac
+	} else {
+		hotFrac, streamFrac = m.prof.HotLoadFrac, m.prof.StreamLoadFrac
+	}
+	v := m.rng.float64()
+	switch {
+	case v < hotFrac:
+		if op.Store {
+			op.Addr = m.hotSweepAddr()
+		} else {
+			op.Addr = m.hotRandomAddr()
+		}
+	case v < hotFrac+streamFrac:
+		op.Addr = m.streamAddr()
+	default:
+		op.Addr = m.randomAddr()
+	}
+}
+
+// hotRegionIndex picks a hot-pool region with power-law skew.
+func (m *Mixture) hotRegionIndex() int {
+	u := m.rng.float64()
+	idx := int(math.Pow(u, m.prof.HotSkew) * float64(len(m.hotBases)))
+	if idx >= len(m.hotBases) {
+		idx = len(m.hotBases) - 1
+	}
+	return idx
+}
+
+// hotSweepAddr returns the next block of the current hot-store sweep,
+// starting a new sweep over a (power-law chosen) region when the previous
+// one finishes.
+func (m *Mixture) hotSweepAddr() uint64 {
+	if m.sweepLeft == 0 {
+		if g := m.prof.SweepGapRegions; g > 0 && len(m.revisitQueue) > g {
+			// Second pass over a region swept a while ago.
+			m.sweepBase = m.revisitQueue[0]
+			copy(m.revisitQueue, m.revisitQueue[1:])
+			m.revisitQueue = m.revisitQueue[:len(m.revisitQueue)-1]
+		} else {
+			m.sweepBase = m.hotBases[m.hotRegionIndex()]
+			if m.prof.SweepGapRegions > 0 {
+				m.revisitQueue = append(m.revisitQueue, m.sweepBase)
+			}
+		}
+		m.sweepNext = 0
+		m.sweepLeft = m.prof.HotBlockSpan
+		if m.sweepLeft == 0 {
+			m.sweepLeft = 64
+		}
+	}
+	addr := m.sweepBase + uint64(m.sweepNext)*64
+	m.sweepNext++
+	m.sweepLeft--
+	return addr
+}
+
+// hotRandomAddr picks a uniform block in a power-law chosen hot region
+// (hot loads: read-modify-write traffic that also keeps hot lines warm in
+// the LLC's LRU).
+func (m *Mixture) hotRandomAddr() uint64 {
+	span := m.prof.HotBlockSpan
+	if span == 0 {
+		span = 64
+	}
+	return m.hotBases[m.hotRegionIndex()] + uint64(m.rng.intn(span))*64
+}
+
+// streamAddr advances the sequential cursor one block.
+func (m *Mixture) streamAddr() uint64 {
+	addr := m.base + (m.streamPos % m.prof.StreamBytes)
+	m.streamPos += 64
+	return addr
+}
+
+// randomAddr picks a uniform block in the working set.
+func (m *Mixture) randomAddr() uint64 {
+	blocks := m.prof.WorkingSetBytes / 64
+	return m.base + (m.rng.next()%blocks)*64
+}
+
+// MaxMLP exposes the profile's memory-parallelism cap for the core model.
+func (m *Mixture) MaxMLP() int { return m.prof.MaxMLP }
+
+// BaseCPI exposes the profile's non-memory CPI for the core model.
+func (m *Mixture) BaseCPI() float64 { return m.prof.BaseCPI }
+
+// Profile returns the generator's profile.
+func (m *Mixture) Profile() Profile { return m.prof }

@@ -1,0 +1,47 @@
+// Package trace generates deterministic synthetic memory-reference
+// streams standing in for the paper's SPEC CPU2006 workloads (Table VII).
+//
+// SPEC binaries, inputs and gem5 checkpoints are licensed artifacts we
+// cannot ship, so each benchmark is replaced by a parameterized generator
+// calibrated against the paper's published characteristics: LLC MPKI
+// (Table VII), write intensity, hot-region structure (Table III for
+// GemsFDTD: a percent or two of 4 KB regions taking >95 % of memory
+// writes at millisecond inter-write intervals), and qualitative behaviour
+// (lbm/libquantum streaming, mcf pointer-chasing with minimal memory
+// parallelism, hmmer compute-bound). The substitution is documented in
+// DESIGN.md §3.
+//
+// Generators are infinite, allocation-free and deterministic: the same
+// (profile, seed) pair always produces the same stream, so experiments
+// are reproducible bit for bit.
+package trace
+
+// prng is a SplitMix64 pseudo-random generator: tiny, fast, and with
+// full 64-bit state guarantees about sub-streams we seed per core.
+type prng struct {
+	state uint64
+}
+
+func newPRNG(seed uint64) prng {
+	// Avoid the all-zero fixed point and decorrelate small seeds.
+	return prng{state: seed*0x9E3779B97F4A7C15 + 0xBF58476D1CE4E5B9}
+}
+
+// next returns the next 64 random bits.
+func (p *prng) next() uint64 {
+	p.state += 0x9E3779B97F4A7C15
+	z := p.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform value in [0, 1).
+func (p *prng) float64() float64 {
+	return float64(p.next()>>11) / (1 << 53)
+}
+
+// intn returns a uniform value in [0, n). n must be positive.
+func (p *prng) intn(n int) int {
+	return int(p.next() % uint64(n))
+}

@@ -1,0 +1,123 @@
+package rrmpcm
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPublicSurface(t *testing.T) {
+	if len(Modes()) != 5 {
+		t.Error("Modes")
+	}
+	if Spec(Mode7SETs).Latency != 1150*Nanosecond {
+		t.Error("Spec")
+	}
+	if got := Retention7Seconds(); math.Abs(got-3054.9) > 1e-6 {
+		t.Errorf("7-SETs retention = %v", got)
+	}
+	if len(Profiles()) != 9 || len(Workloads()) != 11 {
+		t.Error("workload catalog")
+	}
+	if len(PaperMPKI()) != 9 {
+		t.Error("PaperMPKI")
+	}
+	if DefaultRRMConfig().StorageBytes() != 96<<10 {
+		t.Error("RRM storage")
+	}
+	if DefaultDeviceConfig().MemBytes != 8<<30 {
+		t.Error("device")
+	}
+	if DefaultHierarchyConfig().LLC.SizeBytes != 6<<20 {
+		t.Error("hierarchy")
+	}
+	if DefaultControllerConfig().ReadQueueCap != 32 {
+		t.Error("controller")
+	}
+	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Error("Geomean")
+	}
+	if y := LifetimeYears(DefaultDeviceConfig(), 0); !math.IsInf(y, 1) {
+		t.Error("LifetimeYears")
+	}
+}
+
+// Retention7Seconds is a tiny helper for the surface test.
+func Retention7Seconds() float64 { return Spec(Mode7SETs).Retention.Seconds() }
+
+func TestSchemeConstructors(t *testing.T) {
+	if StaticScheme(Mode4SETs).Name() != "Static-4-SETs" {
+		t.Error("static scheme")
+	}
+	if RRMScheme().Name() != "RRM" {
+		t.Error("rrm scheme")
+	}
+	cfg := DefaultRRMConfig()
+	cfg.HotThreshold = 8
+	s := RRMSchemeWith(cfg)
+	if s.Kind != SchemeRRM || s.RRM.HotThreshold != 8 {
+		t.Error("RRMSchemeWith")
+	}
+}
+
+func TestEndToEndRun(t *testing.T) {
+	w, err := WorkloadByName("hmmer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(RRMScheme(), w)
+	cfg.Duration = 2 * Millisecond
+	cfg.Warmup = 500 * Microsecond
+	cfg.TimeScale = 1000
+	m, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.IPC <= 0 || m.LifetimeYears <= 0 || m.RetentionViolations != 0 {
+		t.Errorf("bad metrics: %+v", m)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	w, _ := WorkloadByName("hmmer")
+	cfg := DefaultConfig(RRMScheme(), w)
+	cfg.Duration = 0
+	if _, err := Run(cfg); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestWriteIntervalTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("functional cache pass")
+	}
+	w, err := WorkloadByName("GemsFDTD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, hotShare, err := WriteIntervalTable(w, 5*Millisecond, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(table, "never written") {
+		t.Errorf("table malformed:\n%s", table)
+	}
+	if hotShare < 0.5 {
+		t.Errorf("hot share = %.2f", hotShare)
+	}
+}
+
+func TestGeneratorSurface(t *testing.T) {
+	p := Profiles()[0]
+	gen, err := NewMixture(p, 0, 2<<30, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var op Op
+	for i := 0; i < 1000; i++ {
+		gen.Next(&op)
+		if op.Addr >= 2<<30 {
+			t.Fatal("address out of span")
+		}
+	}
+}
