@@ -1,0 +1,31 @@
+# Tier-1 flow: `make ci` is what a reviewer runs before merging.
+#
+#   build  compile every package and command
+#   vet    static checks
+#   test   full unit suite
+#   race   race-detector pass over the packages the parallel engine
+#          drives (engine, experiments, and the sim/trace paths its
+#          workers execute concurrently)
+#   bench  paper-artifact benchmarks (quick windows)
+#   ci     build + vet + test + race
+
+GO ?= go
+
+.PHONY: build vet test race bench ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/engine/... ./internal/experiments/... ./internal/sim/... ./internal/trace/...
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+ci: build vet test race

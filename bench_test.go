@@ -29,6 +29,9 @@ var (
 	benchRunner     *experiments.Runner
 )
 
+// sharedRunner fans its simulations out over all CPUs (Parallel 0 =
+// GOMAXPROCS); results are deterministic at any parallelism, so the
+// benchmarked tables are identical to the sequential ones.
 func sharedRunner() *experiments.Runner {
 	benchRunnerOnce.Do(func() {
 		benchRunner = experiments.NewRunner(experiments.Options{Quick: true, Seed: 1})
@@ -73,6 +76,43 @@ func BenchmarkAblationGlobalRefresh(b *testing.B) { benchExperiment(b, "ablation
 func BenchmarkAblationCleanWrites(b *testing.B)   { benchExperiment(b, "ablation-cleanwrites") }
 func BenchmarkAblationNoPause(b *testing.B)       { benchExperiment(b, "ablation-nopause") }
 func BenchmarkAblationDecay(b *testing.B)         { benchExperiment(b, "ablation-decay") }
+
+// --- engine benchmarks: worker-pool scaling ---
+
+// benchEngineBatch measures one 8-run batch (4 static schemes x 2
+// workloads, minimal windows) through a fresh Runner at the given
+// parallelism. Compare BenchmarkEngineBatchSequential vs
+// BenchmarkEngineBatchParallel for the worker-pool speedup on your host;
+// the emitted metrics are byte-identical by construction.
+func benchEngineBatch(b *testing.B, parallel int) {
+	b.Helper()
+	var specs []experiments.RunSpec
+	tiny := func(c *Config) {
+		c.Duration = 1500 * Microsecond
+		c.Warmup = 500 * Microsecond
+		c.TimeScale = 1000
+	}
+	for _, wn := range []string{"GemsFDTD", "mcf"} {
+		w, err := WorkloadByName(wn)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, mode := range []WriteMode{Mode3SETs, Mode5SETs, Mode6SETs, Mode7SETs} {
+			specs = append(specs, experiments.RunSpec{
+				Label: "bench", Scheme: StaticScheme(mode), Workload: w, Mutate: tiny})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(experiments.Options{Quick: true, Seed: 1, Parallel: parallel})
+		if _, err := r.RunBatch(specs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineBatchSequential(b *testing.B) { benchEngineBatch(b, 1) }
+func BenchmarkEngineBatchParallel(b *testing.B)   { benchEngineBatch(b, 0) }
 
 // --- component micro-benchmarks: simulator throughput itself ---
 

@@ -3,19 +3,28 @@
 // Usage:
 //
 //	experiments [-quick] [-seed N] [-run id[,id...]] [-list] [-o file]
+//	            [-parallel N] [-cache-dir dir] [-job-timeout d]
 //
 // Without -run, the whole suite executes in DESIGN.md order. Experiment
 // ids are table1, fig2, fig3, fig4, table3, table7, fig7..fig13, table8
 // and the ablation-* studies. -quick uses the reduced windows the
 // benchmarks use (fast, noisier); the default full mode reproduces the
 // EXPERIMENTS.md numbers.
+//
+// Simulations fan out over -parallel worker goroutines (default: all
+// CPUs); the emitted tables are byte-identical at any parallelism level.
+// With -cache-dir, finished runs persist to disk keyed by config hash,
+// so a repeated or interrupted pass reloads them instead of
+// re-simulating. Ctrl-C cancels in-flight simulations cleanly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -29,6 +38,9 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	out := flag.String("o", "", "also write results to this file")
 	verbose := flag.Bool("v", true, "print per-run progress")
+	parallel := flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	cacheDir := flag.String("cache-dir", "", "disk-backed run cache directory (empty = memory only)")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-simulation wall-clock budget (0 = none)")
 	flag.Parse()
 
 	if *list {
@@ -64,7 +76,17 @@ func main() {
 	}
 	w := io.MultiWriter(sinks...)
 
-	opt := experiments.Options{Quick: *quick, Seed: *seed}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opt := experiments.Options{
+		Quick:      *quick,
+		Seed:       *seed,
+		Parallel:   *parallel,
+		CacheDir:   *cacheDir,
+		JobTimeout: *jobTimeout,
+		Context:    ctx,
+	}
 	if *verbose {
 		opt.Progress = os.Stderr
 	}
@@ -86,5 +108,7 @@ func main() {
 		}
 		fmt.Fprintf(w, "\n===== %s — %s (%.1fs) =====\n%s", e.ID, e.Title, time.Since(t0).Seconds(), text)
 	}
-	fmt.Fprintf(w, "\ncompleted in %.1fs\n", time.Since(start).Seconds())
+	st := runner.Stats()
+	fmt.Fprintf(w, "\ncompleted in %.1fs (%d simulated in %.1fs of sim wall, %d memory hits, %d disk hits)\n",
+		time.Since(start).Seconds(), st.Simulated, st.SimWall.Seconds(), st.MemoryHits, st.DiskHits)
 }

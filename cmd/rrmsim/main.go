@@ -1,33 +1,44 @@
-// Command rrmsim runs one simulation of the Tables IV/V system and
-// prints a full metrics report.
+// Command rrmsim runs simulations of the Tables IV/V system and prints
+// full metrics reports.
 //
 // Usage:
 //
-//	rrmsim [-scheme rrm|static-3|...|static-7] [-workload GemsFDTD]
+//	rrmsim [-scheme rrm|static-3|...|static-7] [-workload GemsFDTD[,mcf,...]|all]
 //	       [-duration 40ms] [-warmup 10ms] [-timescale 100]
 //	       [-hot-threshold 16] [-coverage 4] [-region-kb 4] [-seed 1]
+//	       [-parallel N] [-cache-dir dir]
+//
+// -workload accepts a comma-separated list (or "all"); the runs fan out
+// over the parallel experiment engine, reports printed in the order the
+// workloads were named regardless of completion order. With -cache-dir,
+// finished runs persist to disk keyed by config hash and later
+// invocations reload them instead of re-simulating.
 //
 // Examples:
 //
 //	rrmsim -scheme rrm -workload GemsFDTD
 //	rrmsim -scheme static-3 -workload MIX_2 -duration 20ms
 //	rrmsim -scheme rrm -hot-threshold 8   # the paper's aggressive config
+//	rrmsim -scheme rrm -workload all -parallel 8 -cache-dir /tmp/rrm-cache
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
 
 	"rrmpcm"
+	"rrmpcm/internal/engine"
 )
 
 func main() {
 	scheme := flag.String("scheme", "rrm", "write scheme: rrm or static-3..static-7")
-	workload := flag.String("workload", "GemsFDTD", "workload name (see -list-workloads)")
+	workload := flag.String("workload", "GemsFDTD", "comma-separated workload names, or \"all\" (see -list-workloads)")
 	duration := flag.Duration("duration", 40*time.Millisecond, "measured simulation window")
 	warmup := flag.Duration("warmup", 10*time.Millisecond, "warmup before measurement")
 	timescale := flag.Float64("timescale", 100, "retention clock acceleration")
@@ -35,6 +46,8 @@ func main() {
 	coverage := flag.Int("coverage", 4, "RRM LLC coverage rate (2/4/8/16)")
 	regionKB := flag.Uint64("region-kb", 4, "RRM entry coverage size in KB")
 	seed := flag.Uint64("seed", 1, "workload seed")
+	parallel := flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	cacheDir := flag.String("cache-dir", "", "disk-backed run cache directory (empty = no cache)")
 	listW := flag.Bool("list-workloads", false, "list workloads and exit")
 	flag.Parse()
 
@@ -49,27 +62,75 @@ func main() {
 		return
 	}
 
-	w, err := rrmpcm.WorkloadByName(*workload)
-	if err != nil {
-		fatal(err)
-	}
 	s, err := parseScheme(*scheme, *hotThreshold, *coverage, *regionKB)
 	if err != nil {
 		fatal(err)
 	}
 
-	cfg := rrmpcm.DefaultConfig(s, w)
-	cfg.Duration = rrmpcm.Time(duration.Nanoseconds()) * rrmpcm.Nanosecond
-	cfg.Warmup = rrmpcm.Time(warmup.Nanoseconds()) * rrmpcm.Nanosecond
-	cfg.TimeScale = *timescale
-	cfg.Seed = *seed
-
-	start := time.Now()
-	m, err := rrmpcm.Run(cfg)
-	if err != nil {
-		fatal(err)
+	var workloads []rrmpcm.Workload
+	if *workload == "all" {
+		workloads = rrmpcm.Workloads()
+	} else {
+		for _, name := range strings.Split(*workload, ",") {
+			w, err := rrmpcm.WorkloadByName(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			workloads = append(workloads, w)
+		}
 	}
-	report(m, time.Since(start))
+
+	jobs := make([]engine.Job, len(workloads))
+	for i, w := range workloads {
+		cfg := rrmpcm.DefaultConfig(s, w)
+		cfg.Duration = rrmpcm.Time(duration.Nanoseconds()) * rrmpcm.Nanosecond
+		cfg.Warmup = rrmpcm.Time(warmup.Nanoseconds()) * rrmpcm.Nanosecond
+		cfg.TimeScale = *timescale
+		cfg.Seed = *seed
+		key, err := rrmpcm.ConfigHash(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		jobs[i] = engine.Job{Key: key, Name: w.Name, Config: cfg}
+	}
+
+	eopt := engine.Options{Parallel: *parallel}
+	if *cacheDir != "" {
+		c, err := engine.OpenRunCache(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		eopt.Cache = c
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	start := time.Now()
+	results, _ := engine.New(eopt).Run(ctx, jobs)
+
+	failed := false
+	for i, res := range results {
+		if i > 0 {
+			fmt.Printf("\n%s\n\n", strings.Repeat("-", 72))
+		}
+		if res.Err != nil {
+			fmt.Fprintf(os.Stderr, "rrmsim: %s: %v\n", res.Name, res.Err)
+			failed = true
+			continue
+		}
+		if res.Cached {
+			fmt.Printf("[disk cache hit %s]\n", res.Key[:12])
+		}
+		if !report(res.Metrics, res.Wall) {
+			failed = true
+		}
+	}
+	if len(results) > 1 {
+		fmt.Printf("\n%d workloads in %.1f s wall\n", len(results), time.Since(start).Seconds())
+	}
+	if failed {
+		os.Exit(1)
+	}
 }
 
 func parseScheme(name string, hotThreshold, coverage int, regionKB uint64) (rrmpcm.Scheme, error) {
@@ -90,7 +151,9 @@ func parseScheme(name string, hotThreshold, coverage int, regionKB uint64) (rrmp
 	return rrmpcm.RRMSchemeWith(cfg), nil
 }
 
-func report(m rrmpcm.Metrics, wall time.Duration) {
+// report prints one run's metrics; it returns false when the run had
+// retention violations.
+func report(m rrmpcm.Metrics, wall time.Duration) bool {
 	fmt.Printf("scheme %s, workload %s: %.1f ms simulated in %.1f s (retention clock x%g)\n\n",
 		m.Scheme, m.Workload, m.SimSeconds*1000, wall.Seconds(), m.TimeScale)
 
@@ -136,9 +199,10 @@ func report(m rrmpcm.Metrics, wall time.Duration) {
 	}
 	if m.RetentionViolations > 0 {
 		fmt.Printf("RETENTION VIOLATIONS: %d (%s)\n", m.RetentionViolations, m.FirstViolation)
-		os.Exit(1)
+		return false
 	}
 	fmt.Printf("retention check: clean\n")
+	return true
 }
 
 func fatal(err error) {

@@ -1,0 +1,111 @@
+package engine
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"rrmpcm/internal/sim"
+)
+
+// cacheFormat guards entry decoding; entries written by an incompatible
+// build read as misses, not errors.
+const cacheFormat = 1
+
+// cacheEntry is the on-disk envelope of one cached run.
+type cacheEntry struct {
+	Format   int
+	Key      string
+	Scheme   string
+	Workload string
+	Metrics  sim.Metrics
+}
+
+// RunCache is a disk-backed store of finished simulation results, one
+// JSON file per config hash. Writes are atomic (temp file + rename), so
+// a sweep killed mid-write never leaves a torn entry; re-running the
+// sweep resumes from whatever completed. The cache is safe for
+// concurrent use by multiple workers and multiple processes.
+type RunCache struct {
+	dir string
+}
+
+// OpenRunCache opens (creating if needed) a cache rooted at dir.
+func OpenRunCache(dir string) (*RunCache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("engine: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("engine: opening run cache: %w", err)
+	}
+	return &RunCache{dir: dir}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *RunCache) Dir() string { return c.dir }
+
+func (c *RunCache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// Load fetches the cached metrics for key. A missing, torn, or
+// format-incompatible entry is a miss (ok=false, nil error); err is
+// reserved for real I/O failures.
+func (c *RunCache) Load(key string) (sim.Metrics, bool, error) {
+	blob, err := os.ReadFile(c.path(key))
+	if errors.Is(err, fs.ErrNotExist) {
+		return sim.Metrics{}, false, nil
+	}
+	if err != nil {
+		return sim.Metrics{}, false, fmt.Errorf("engine: reading cache entry: %w", err)
+	}
+	var e cacheEntry
+	if json.Unmarshal(blob, &e) != nil || e.Format != cacheFormat || e.Key != key {
+		return sim.Metrics{}, false, nil
+	}
+	return e.Metrics, true, nil
+}
+
+// Store persists metrics under key atomically.
+func (c *RunCache) Store(key string, m sim.Metrics) error {
+	blob, err := json.MarshalIndent(cacheEntry{
+		Format:   cacheFormat,
+		Key:      key,
+		Scheme:   m.Scheme,
+		Workload: m.Workload,
+		Metrics:  m,
+	}, "", " ")
+	if err != nil {
+		return fmt.Errorf("engine: encoding cache entry: %w", err)
+	}
+	tmp, err := os.CreateTemp(c.dir, key+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("engine: writing cache entry: %w", err)
+	}
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("engine: writing cache entry: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("engine: writing cache entry: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("engine: writing cache entry: %w", err)
+	}
+	return nil
+}
+
+// Len counts the cache's entries (diagnostics and tests).
+func (c *RunCache) Len() (int, error) {
+	matches, err := filepath.Glob(filepath.Join(c.dir, "*.json"))
+	if err != nil {
+		return 0, err
+	}
+	return len(matches), nil
+}

@@ -119,7 +119,7 @@ func perfTable(r *Runner, schemes []sim.Scheme) (string, error) {
 		header = append(header, s.Name())
 	}
 	rows := [][]string{header}
-	for _, name := range sortedNames(ws) {
+	for _, name := range workloadNames(ws) {
 		base := m[name]["Static-7-SETs"].IPC
 		row := []string{name}
 		for _, s := range schemes {
@@ -159,7 +159,7 @@ func lifetimeTable(r *Runner, schemes []sim.Scheme, note string) (string, error)
 		header = append(header, s.Name())
 	}
 	rows := [][]string{header}
-	for _, name := range sortedNames(ws) {
+	for _, name := range workloadNames(ws) {
 		row := []string{name}
 		for _, s := range schemes {
 			row = append(row, fmt.Sprintf("%.2f", m[name][s.Name()].LifetimeYears))
@@ -196,7 +196,7 @@ func wearTable(r *Runner, schemes []sim.Scheme) (string, error) {
 		return "", err
 	}
 	rows := [][]string{{"Workload", "Scheme", "Write wear/s", "RRM-refresh/s", "Slow-refresh/s", "Global-refresh/s", "Refresh share"}}
-	for _, name := range sortedNames(ws) {
+	for _, name := range workloadNames(ws) {
 		for _, s := range schemes {
 			mm := m[name][s.Name()]
 			refresh := mm.WearRRMRate + mm.WearSlowRate + mm.WearGlobalRate
@@ -220,7 +220,7 @@ func Figure10(r *Runner) (string, error) {
 		return "", err
 	}
 	rows := [][]string{{"Workload", "Scheme", "Write J", "Refresh J", "Total J"}}
-	for _, name := range sortedNames(ws) {
+	for _, name := range workloadNames(ws) {
 		for _, s := range mainSchemes() {
 			mm := m[name][s.Name()]
 			rows = append(rows, []string{
@@ -247,7 +247,7 @@ func Table7(r *Runner) (string, error) {
 		return "", err
 	}
 	rows := [][]string{{"Workload", "Measured MPKI", "Paper MPKI"}}
-	for _, name := range sortedNames(ws) {
+	for _, name := range workloadNames(ws) {
 		p := "-"
 		if v, ok := paper[name]; ok {
 			p = fmt.Sprintf("%.2f", v)
@@ -280,24 +280,32 @@ func Figure13(r *Runner) (string, error) {
 }
 
 // rrmSweep runs RRM variants over the workloads and reports normalized
-// performance (vs Static-7) and lifetime geomeans per variant value.
+// performance (vs Static-7) and lifetime geomeans per variant value. All
+// values x workloads go out as one parallel batch.
 func rrmSweep(r *Runner, label, param string, values []int, scheme func(int) sim.Scheme) (string, error) {
 	base, ws, err := r.matrix([]sim.Scheme{sim.StaticScheme(pcm.Mode7SETs)})
 	if err != nil {
 		return "", err
 	}
-	rows := [][]string{{param, "Norm. IPC (geomean)", "Lifetime y (geomean)", "Short-write frac", "Hot entries"}}
+	specs := make([]RunSpec, 0, len(values)*len(ws))
 	for _, v := range values {
 		s := scheme(v)
+		for _, w := range ws {
+			specs = append(specs, RunSpec{Label: fmt.Sprintf("%s-%d", label, v), Scheme: s, Workload: w})
+		}
+	}
+	ms, err := r.RunBatch(specs)
+	if err != nil {
+		return "", err
+	}
+	rows := [][]string{{param, "Norm. IPC (geomean)", "Lifetime y (geomean)", "Short-write frac", "Hot entries"}}
+	for vi, v := range values {
 		perf := make([]float64, 0, len(ws))
 		life := make([]float64, 0, len(ws))
 		var shortFrac float64
 		var hot int
-		for _, w := range ws {
-			m, err := r.Run(fmt.Sprintf("%s-%d", label, v), s, w, nil)
-			if err != nil {
-				return "", err
-			}
+		for wi, w := range ws {
+			m := ms[vi*len(ws)+wi]
 			perf = append(perf, m.IPC/base[w.Name]["Static-7-SETs"].IPC)
 			life = append(life, m.LifetimeYears)
 			shortFrac += m.ShortWriteFraction
@@ -369,7 +377,11 @@ func AblationGlobalRefresh(r *Runner) (string, error) {
 // workloads and shows the pollution it was protecting against.
 func AblationCleanWrites(r *Runner) (string, error) {
 	polluted := rrmConfigWith(func(c *coreRRMConfig) { c.RegisterCleanWrites = true })
-	rows := [][]string{{"Workload", "Variant", "Norm. IPC", "Lifetime y", "Short frac", "RRM refresh/s"}}
+	variants := []struct {
+		label  string
+		scheme sim.Scheme
+	}{{"filter on (paper)", sim.RRMScheme()}, {"filter off (A2)", polluted}}
+	var specs []RunSpec
 	for _, name := range []string{"libquantum", "lbm", "GemsFDTD"} {
 		w, err := trace.WorkloadByName(name)
 		if err != nil {
@@ -378,20 +390,22 @@ func AblationCleanWrites(r *Runner) (string, error) {
 		if r.opt.Quick && name != "GemsFDTD" {
 			continue
 		}
-		base, err := r.Run("main", sim.StaticScheme(pcm.Mode7SETs), w, nil)
-		if err != nil {
-			return "", err
+		specs = append(specs, RunSpec{Label: "main", Scheme: sim.StaticScheme(pcm.Mode7SETs), Workload: w})
+		for _, v := range variants {
+			specs = append(specs, RunSpec{Label: "a2-" + v.label, Scheme: v.scheme, Workload: w})
 		}
-		for _, v := range []struct {
-			label  string
-			scheme sim.Scheme
-		}{{"filter on (paper)", sim.RRMScheme()}, {"filter off (A2)", polluted}} {
-			m, err := r.Run("a2-"+v.label, v.scheme, w, nil)
-			if err != nil {
-				return "", err
-			}
+	}
+	ms, err := r.RunBatch(specs)
+	if err != nil {
+		return "", err
+	}
+	rows := [][]string{{"Workload", "Variant", "Norm. IPC", "Lifetime y", "Short frac", "RRM refresh/s"}}
+	for i := 0; i < len(specs); i += 1 + len(variants) {
+		base := ms[i]
+		for k, v := range variants {
+			m := ms[i+1+k]
 			rows = append(rows, []string{
-				name, v.label,
+				specs[i].Workload.Name, v.label,
 				fmt.Sprintf("%.3f", m.IPC/base.IPC),
 				fmt.Sprintf("%.2f", m.LifetimeYears),
 				fmt.Sprintf("%.2f", m.ShortWriteFraction),
@@ -402,27 +416,31 @@ func AblationCleanWrites(r *Runner) (string, error) {
 	return stats.Table(rows), nil
 }
 
-// AblationNoPause disables write pausing for Static-7 and RRM.
+// AblationNoPause disables write pausing for Static-7 and RRM. The
+// with/without pairs for every workload run as one parallel batch.
 func AblationNoPause(r *Runner) (string, error) {
 	noPause := func(c *sim.Config) { c.Ctrl.WritePausing = false }
-	rows := [][]string{{"Workload", "Scheme", "IPC (pausing)", "IPC (no pausing)", "delta"}}
+	var specs []RunSpec
 	for _, w := range r.opt.workloads() {
 		for _, s := range []sim.Scheme{sim.StaticScheme(pcm.Mode7SETs), sim.RRMScheme()} {
-			with, err := r.Run("main", s, w, nil)
-			if err != nil {
-				return "", err
-			}
-			without, err := r.Run("a3-nopause", s, w, noPause)
-			if err != nil {
-				return "", err
-			}
-			rows = append(rows, []string{
-				w.Name, s.Name(),
-				fmt.Sprintf("%.3f", with.IPC),
-				fmt.Sprintf("%.3f", without.IPC),
-				fmt.Sprintf("%+.1f%%", 100*(without.IPC/with.IPC-1)),
-			})
+			specs = append(specs,
+				RunSpec{Label: "main", Scheme: s, Workload: w},
+				RunSpec{Label: "a3-nopause", Scheme: s, Workload: w, Mutate: noPause})
 		}
+	}
+	ms, err := r.RunBatch(specs)
+	if err != nil {
+		return "", err
+	}
+	rows := [][]string{{"Workload", "Scheme", "IPC (pausing)", "IPC (no pausing)", "delta"}}
+	for i := 0; i < len(specs); i += 2 {
+		with, without := ms[i], ms[i+1]
+		rows = append(rows, []string{
+			specs[i].Workload.Name, specs[i].Scheme.Name(),
+			fmt.Sprintf("%.3f", with.IPC),
+			fmt.Sprintf("%.3f", without.IPC),
+			fmt.Sprintf("%+.1f%%", 100*(without.IPC/with.IPC-1)),
+		})
 	}
 	return stats.Table(rows), nil
 }
@@ -435,18 +453,25 @@ func AblationDecay(r *Runner) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	specs := make([]RunSpec, 0, len(values)*len(ws))
 	for _, mul := range values {
 		s := rrmConfigWith(func(c *coreRRMConfig) {
 			c.DecayInterval = timingTime(float64(c.DecayInterval) * mul)
 		})
+		for _, w := range ws {
+			specs = append(specs, RunSpec{Label: fmt.Sprintf("a5-%.2f", mul), Scheme: s, Workload: w})
+		}
+	}
+	ms, err := r.RunBatch(specs)
+	if err != nil {
+		return "", err
+	}
+	for vi, mul := range values {
 		perf := make([]float64, 0, len(ws))
 		life := make([]float64, 0, len(ws))
 		var demotions uint64
-		for _, w := range ws {
-			m, err := r.Run(fmt.Sprintf("a5-%.2f", mul), s, w, nil)
-			if err != nil {
-				return "", err
-			}
+		for wi, w := range ws {
+			m := ms[vi*len(ws)+wi]
 			perf = append(perf, m.IPC/base[w.Name]["Static-7-SETs"].IPC)
 			life = append(life, m.LifetimeYears)
 			demotions += m.RRM.Demotions
@@ -504,26 +529,30 @@ func AblationWearLevel(r *Runner) (string, error) {
 // 104.4 s retention needs ~50x fewer selective refreshes than the fast
 // tier.
 func AblationMultiMode(r *Runner) (string, error) {
+	// The custom-policy mutate creates a fresh MultiModeRRM per spec, so
+	// parallel jobs never share policy state.
+	multiMode := func(c *sim.Config) {
+		policy, perr := core.NewMultiModeRRM(core.DefaultMultiModeConfig().Scale(c.TimeScale), nil)
+		if perr != nil {
+			panic(perr)
+		}
+		c.Scheme = sim.Scheme{Kind: sim.SchemeCustom, Custom: policy}
+	}
+	ws := r.opt.workloads()
+	var specs []RunSpec
+	for _, w := range ws {
+		specs = append(specs,
+			RunSpec{Label: "main", Scheme: sim.StaticScheme(pcm.Mode7SETs), Workload: w},
+			RunSpec{Label: "main", Scheme: sim.RRMScheme(), Workload: w},
+			RunSpec{Label: "a4-multimode", Scheme: sim.Scheme{Kind: sim.SchemeCustom}, Workload: w, Mutate: multiMode})
+	}
+	ms, err := r.RunBatch(specs)
+	if err != nil {
+		return "", err
+	}
 	rows := [][]string{{"Workload", "Scheme", "Norm. IPC", "Lifetime y", "3-SETs", "5-SETs", "7-SETs"}}
-	for _, w := range r.opt.workloads() {
-		base, err := r.Run("main", sim.StaticScheme(pcm.Mode7SETs), w, nil)
-		if err != nil {
-			return "", err
-		}
-		rrm, err := r.Run("main", sim.RRMScheme(), w, nil)
-		if err != nil {
-			return "", err
-		}
-		mm, err := r.Run("a4-multimode", sim.Scheme{Kind: sim.SchemeCustom}, w, func(c *sim.Config) {
-			policy, perr := core.NewMultiModeRRM(core.DefaultMultiModeConfig().Scale(c.TimeScale), nil)
-			if perr != nil {
-				panic(perr)
-			}
-			c.Scheme = sim.Scheme{Kind: sim.SchemeCustom, Custom: policy}
-		})
-		if err != nil {
-			return "", err
-		}
+	for i, w := range ws {
+		base, rrm, mm := ms[3*i], ms[3*i+1], ms[3*i+2]
 		for _, v := range []sim.Metrics{rrm, mm} {
 			// WritesByMode counts demand writes plus simulated
 			// refreshes (both wear cells); normalize over that sum.

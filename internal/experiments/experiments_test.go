@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -114,25 +116,140 @@ func TestQuickOptions(t *testing.T) {
 	}
 }
 
+// tinyRun shrinks a config to the smallest window the simulator accepts,
+// so cache/determinism tests stay fast.
+func tinyRun(c *simConfigT) {
+	c.Duration = 1500 * timing.Microsecond
+	c.Warmup = 500 * timing.Microsecond
+	c.TimeScale = 1000
+}
+
 func TestRunnerCaching(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs a simulation")
 	}
 	r := NewRunner(Options{Quick: true, Seed: 1})
 	w, _ := trace.WorkloadByName("GemsFDTD")
-	m1, err := r.Run("cache-test", mainSchemes()[0], w, func(c *simConfigT) {
-		c.Duration = 1500 * timing.Microsecond
-		c.Warmup = 500 * timing.Microsecond
-		c.TimeScale = 1000
-	})
+	m1, err := r.Run("cache-test", mainSchemes()[0], w, tinyRun)
 	if err != nil {
 		t.Fatal(err)
 	}
-	m2, err := r.Run("cache-test", mainSchemes()[0], w, nil) // cached: mutate ignored
+	// Identical config, even under a different label: a memory-cache hit.
+	m2, err := r.Run("other-label", mainSchemes()[0], w, tinyRun)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if m1.Instructions != m2.Instructions {
-		t.Error("cache returned a different result")
+		t.Error("cache returned a different result for an identical config")
+	}
+	st := r.Stats()
+	if st.Simulated != 1 || st.MemoryHits != 1 {
+		t.Errorf("stats = %+v, want 1 simulated + 1 memory hit", st)
+	}
+}
+
+// TestRunnerCacheKeyCollisionProof: a mutated config under a reused
+// label can no longer alias the cached unmutated result (the pre-engine
+// runner keyed on label/scheme/workload and would have returned the
+// first run's metrics for both).
+func TestRunnerCacheKeyCollisionProof(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	r := NewRunner(Options{Quick: true, Seed: 1})
+	w, _ := trace.WorkloadByName("GemsFDTD")
+	m1, err := r.Run("same-label", mainSchemes()[0], w, tinyRun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := r.Run("same-label", mainSchemes()[0], w, func(c *simConfigT) {
+		tinyRun(c)
+		c.Seed = 999 // different run, same label
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Instructions == m2.Instructions {
+		t.Error("mutated config aliased the cached unmutated result")
+	}
+	if st := r.Stats(); st.Simulated != 2 {
+		t.Errorf("stats = %+v, want both configs simulated", st)
+	}
+}
+
+// TestParallelDeterminism: the same batch produces byte-identical tables
+// at parallelism 1 and 8.
+func TestParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	batch := func() []RunSpec {
+		var specs []RunSpec
+		for _, wn := range []string{"GemsFDTD", "mcf"} {
+			w, err := trace.WorkloadByName(wn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range mainSchemes()[:2] {
+				specs = append(specs, RunSpec{Label: "det", Scheme: s, Workload: w, Mutate: tinyRun})
+			}
+		}
+		return specs
+	}
+	render := func(parallel int) string {
+		r := NewRunner(Options{Quick: true, Seed: 1, Parallel: parallel})
+		ms, err := r.RunBatch(batch())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for i, m := range ms {
+			fmt.Fprintf(&b, "%d %s %s %d %.17g %.17g\n",
+				i, m.Scheme, m.Workload, m.Instructions, m.IPC, m.LifetimeYears)
+		}
+		return b.String()
+	}
+	seq := render(1)
+	par := render(8)
+	if seq != par {
+		t.Errorf("results differ across parallelism:\n-- parallel 1 --\n%s-- parallel 8 --\n%s", seq, par)
+	}
+}
+
+// TestRunnerDiskCache: a second Runner over the same cache directory
+// serves the whole batch from disk, simulating nothing, with identical
+// metrics.
+func TestRunnerDiskCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	dir := t.TempDir()
+	w, _ := trace.WorkloadByName("GemsFDTD")
+	specs := []RunSpec{
+		{Label: "disk", Scheme: mainSchemes()[0], Workload: w, Mutate: tinyRun},
+		{Label: "disk", Scheme: mainSchemes()[4], Workload: w, Mutate: tinyRun},
+	}
+	r1 := NewRunner(Options{Quick: true, Seed: 1, CacheDir: dir})
+	ms1, err := r1.RunBatch(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := r1.Stats(); st.Simulated != 2 {
+		t.Fatalf("first pass stats = %+v, want 2 simulated", st)
+	}
+
+	r2 := NewRunner(Options{Quick: true, Seed: 1, CacheDir: dir})
+	ms2, err := r2.RunBatch(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := r2.Stats()
+	if st.Simulated != 0 || st.DiskHits != 2 {
+		t.Errorf("second pass stats = %+v, want 0 simulated / 2 disk hits", st)
+	}
+	for i := range ms1 {
+		if !reflect.DeepEqual(ms1[i], ms2[i]) {
+			t.Errorf("spec %d metrics changed across the disk cache", i)
+		}
 	}
 }

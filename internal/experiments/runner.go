@@ -6,16 +6,23 @@
 //
 // Experiments that share simulation runs (Figures 2-4 and 7-10 all view
 // the same scheme x workload matrix) share them through a Runner cache,
-// so the full suite costs one pass over the matrix.
+// so the full suite costs one pass over the matrix. The Runner submits
+// its runs as batches to the internal/engine worker pool, so independent
+// simulations execute in parallel while every table stays byte-identical
+// at any parallelism level (results are merged by config-hash key, never
+// by completion order).
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
+	"sync"
 	"time"
 
 	"rrmpcm/internal/core"
+	"rrmpcm/internal/engine"
 	"rrmpcm/internal/pcm"
 	"rrmpcm/internal/sim"
 	"rrmpcm/internal/stats"
@@ -30,8 +37,22 @@ type Options struct {
 	Quick bool
 	// Seed makes the whole pass reproducible.
 	Seed uint64
-	// Progress, if non-nil, receives one line per completed run.
+	// Progress, if non-nil, receives one line per completed run. Writes
+	// are serialized by the engine, so parallel jobs never interleave
+	// within a line.
 	Progress io.Writer
+	// Parallel is the number of concurrent simulations (0 = GOMAXPROCS).
+	Parallel int
+	// CacheDir, if non-empty, enables the disk-backed run cache:
+	// finished runs persist there keyed by config hash, and later
+	// passes (or resumed interrupted ones) load them instead of
+	// re-simulating.
+	CacheDir string
+	// JobTimeout bounds each simulation's wall-clock time (0 = none).
+	JobTimeout time.Duration
+	// Context, if non-nil, cancels in-flight and pending runs when it
+	// is done (Ctrl-C handling in cmd/experiments).
+	Context context.Context
 }
 
 // simConfig builds the run configuration for a scheme/workload pair.
@@ -57,48 +78,191 @@ func (o Options) simConfig(scheme sim.Scheme, w trace.Workload) sim.Config {
 	return cfg
 }
 
-// Runner caches simulation results across experiments.
+// RunSpec names one simulation of a batch: a scheme/workload pair with an
+// optional config mutation. The Label is cosmetic (progress lines) except
+// for custom-policy schemes, where it also disambiguates the cache key
+// (the config hash cannot see custom-policy internals).
+type RunSpec struct {
+	Label    string
+	Scheme   sim.Scheme
+	Workload trace.Workload
+	Mutate   func(*sim.Config)
+}
+
+// RunnerStats counts how a Runner's runs were satisfied.
+type RunnerStats struct {
+	Simulated  uint64        // actually executed
+	MemoryHits uint64        // served from the in-process cache
+	DiskHits   uint64        // served from the disk cache
+	SimWall    time.Duration // summed wall-clock of executed runs
+}
+
+// Runner caches simulation results across experiments and fans batches
+// out over the engine's worker pool. Results are keyed by the engine's
+// config hash, so a mutated config can never alias another run's cached
+// result, whatever its label. Runner methods are safe for concurrent
+// use.
 type Runner struct {
-	opt   Options
+	opt Options
+	eng *engine.Engine
+
+	mu    sync.Mutex
 	cache map[string]sim.Metrics
+	stats RunnerStats
 }
 
 // NewRunner returns a runner for one experiment pass.
 func NewRunner(opt Options) *Runner {
-	return &Runner{opt: opt, cache: make(map[string]sim.Metrics)}
+	r := &Runner{opt: opt, cache: make(map[string]sim.Metrics)}
+	eopt := engine.Options{
+		Parallel: opt.Parallel,
+		Timeout:  opt.JobTimeout,
+	}
+	if opt.CacheDir != "" {
+		c, err := engine.OpenRunCache(opt.CacheDir)
+		if err != nil && opt.Progress != nil {
+			fmt.Fprintf(opt.Progress, "  run cache disabled: %v\n", err)
+		}
+		eopt.Cache = c // nil on error: memory-only
+	}
+	if opt.Progress != nil {
+		eopt.Progress = func(res engine.Result) {
+			if res.Err != nil {
+				return // the batch error carries the details
+			}
+			from := ""
+			if res.Cached {
+				from = " [disk cache]"
+			}
+			fmt.Fprintf(opt.Progress, "  ran %-40s IPC=%.3f life=%.2fy (%.1fs)%s\n",
+				res.Name, res.Metrics.IPC, res.Metrics.LifetimeYears,
+				res.Wall.Seconds(), from)
+			if res.CacheErr != nil {
+				fmt.Fprintf(opt.Progress, "  warning: %s: caching result: %v\n", res.Name, res.CacheErr)
+			}
+		}
+	}
+	r.eng = engine.New(eopt)
+	return r
+}
+
+// Stats returns a snapshot of the runner's cache/run counters.
+func (r *Runner) Stats() RunnerStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+func (r *Runner) context() context.Context {
+	if r.opt.Context != nil {
+		return r.opt.Context
+	}
+	return context.Background()
+}
+
+// specJob builds the config and deterministic cache key for one spec.
+func (r *Runner) specJob(spec RunSpec) (engine.Job, error) {
+	cfg := r.opt.simConfig(spec.Scheme, spec.Workload)
+	if spec.Mutate != nil {
+		spec.Mutate(&cfg)
+	}
+	key, err := engine.ConfigHash(cfg)
+	if err != nil {
+		return engine.Job{}, err
+	}
+	name := spec.Label + "/" + cfg.Scheme.Name() + "/" + spec.Workload.Name
+	job := engine.Job{Key: key, Name: name, Config: cfg}
+	if !engine.Cacheable(cfg) {
+		// The hash cannot see custom-policy internals: keep such runs
+		// out of the disk cache and fold the label into the key so two
+		// differently-labelled custom runs never alias in memory.
+		job.Uncacheable = true
+		job.Key = key + "/custom/" + spec.Label
+	}
+	return job, nil
+}
+
+// RunBatch simulates (or loads from cache) every spec and returns their
+// metrics in spec order. Independent specs run concurrently on the
+// engine's worker pool; specs resolving to the same config share one
+// run. The first failing spec (in spec order, deterministically) aborts
+// the batch with its error.
+func (r *Runner) RunBatch(specs []RunSpec) ([]sim.Metrics, error) {
+	out := make([]sim.Metrics, len(specs))
+	jobs := make([]engine.Job, len(specs))
+	pending := make([]int, 0, len(specs)) // spec indexes not in memory
+
+	r.mu.Lock()
+	for i, spec := range specs {
+		job, err := r.specJob(spec)
+		if err != nil {
+			r.mu.Unlock()
+			return nil, fmt.Errorf("experiments: %s/%s/%s: %w",
+				spec.Label, spec.Scheme.Name(), spec.Workload.Name, err)
+		}
+		jobs[i] = job
+		if m, ok := r.cache[job.Key]; ok {
+			out[i] = m
+			r.stats.MemoryHits++
+		} else {
+			pending = append(pending, i)
+		}
+	}
+	r.mu.Unlock()
+	if len(pending) == 0 {
+		return out, nil
+	}
+
+	batch := make([]engine.Job, len(pending))
+	for bi, i := range pending {
+		batch[bi] = jobs[i]
+	}
+	results, _ := r.eng.Run(r.context(), batch)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var firstErr error
+	for bi, res := range results {
+		i := pending[bi]
+		if res.Err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("experiments: %w", res.Err)
+			}
+			continue
+		}
+		if res.Metrics.RetentionViolations > 0 && firstErr == nil {
+			firstErr = fmt.Errorf("experiments: %s: %d retention violations (%s)",
+				res.Name, res.Metrics.RetentionViolations, res.Metrics.FirstViolation)
+			continue
+		}
+		out[i] = res.Metrics
+		if _, ok := r.cache[res.Key]; !ok {
+			r.cache[res.Key] = res.Metrics
+			if res.Cached {
+				r.stats.DiskHits++
+			} else {
+				r.stats.Simulated++
+				r.stats.SimWall += res.Wall
+			}
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
 }
 
 // Run simulates (or returns the cached result of) one scheme/workload
-// pair, with optional config mutation. Mutated configs must pass a
-// distinct label for correct caching.
+// pair, with optional config mutation. The result is keyed by the full
+// config hash, so mutations are always distinguished from the unmutated
+// run regardless of label; the label shows up in progress output and
+// disambiguates custom-policy schemes.
 func (r *Runner) Run(label string, scheme sim.Scheme, w trace.Workload, mutate func(*sim.Config)) (sim.Metrics, error) {
-	key := label + "/" + scheme.Name() + "/" + w.Name
-	if m, ok := r.cache[key]; ok {
-		return m, nil
-	}
-	cfg := r.opt.simConfig(scheme, w)
-	if mutate != nil {
-		mutate(&cfg)
-	}
-	start := time.Now()
-	sys, err := sim.New(cfg)
+	ms, err := r.RunBatch([]RunSpec{{Label: label, Scheme: scheme, Workload: w, Mutate: mutate}})
 	if err != nil {
-		return sim.Metrics{}, fmt.Errorf("experiments: %s: %w", key, err)
+		return sim.Metrics{}, err
 	}
-	m, err := sys.Run()
-	if err != nil {
-		return sim.Metrics{}, fmt.Errorf("experiments: %s: %w", key, err)
-	}
-	if m.RetentionViolations > 0 {
-		return sim.Metrics{}, fmt.Errorf("experiments: %s: %d retention violations (%s)",
-			key, m.RetentionViolations, m.FirstViolation)
-	}
-	if r.opt.Progress != nil {
-		fmt.Fprintf(r.opt.Progress, "  ran %-40s IPC=%.3f life=%.2fy (%.1fs)\n",
-			key, m.IPC, m.LifetimeYears, time.Since(start).Seconds())
-	}
-	r.cache[key] = m
-	return m, nil
+	return ms[0], nil
 }
 
 // mainSchemes is the Table VI scheme list.
@@ -135,20 +299,26 @@ func (o Options) workloads() []trace.Workload {
 	return out
 }
 
-// matrix runs every scheme over every workload and returns
-// metrics[workload][scheme].
+// matrix runs every scheme over every workload (one parallel batch) and
+// returns metrics[workload][scheme].
 func (r *Runner) matrix(schemes []sim.Scheme) (map[string]map[string]sim.Metrics, []trace.Workload, error) {
 	ws := r.opt.workloads()
-	out := make(map[string]map[string]sim.Metrics, len(ws))
+	specs := make([]RunSpec, 0, len(ws)*len(schemes))
 	for _, w := range ws {
-		out[w.Name] = make(map[string]sim.Metrics, len(schemes))
 		for _, s := range schemes {
-			m, err := r.Run("main", s, w, nil)
-			if err != nil {
-				return nil, nil, err
-			}
-			out[w.Name][s.Name()] = m
+			specs = append(specs, RunSpec{Label: "main", Scheme: s, Workload: w})
 		}
+	}
+	ms, err := r.RunBatch(specs)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make(map[string]map[string]sim.Metrics, len(ws))
+	for i, spec := range specs {
+		if out[spec.Workload.Name] == nil {
+			out[spec.Workload.Name] = make(map[string]sim.Metrics, len(schemes))
+		}
+		out[spec.Workload.Name][spec.Scheme.Name()] = ms[i]
 	}
 	return out, ws, nil
 }
@@ -162,9 +332,9 @@ func geomeanOver(ws []trace.Workload, f func(name string) float64) float64 {
 	return stats.Geomean(vals)
 }
 
-// sortedNames returns workload names in canonical (declaration) order
-// followed by nothing else; used for stable table rows.
-func sortedNames(ws []trace.Workload) []string {
+// workloadNames returns workload names in canonical (declaration) order;
+// used for stable table rows.
+func workloadNames(ws []trace.Workload) []string {
 	names := make([]string, 0, len(ws))
 	for _, w := range ws {
 		names = append(names, w.Name)

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"rrmpcm/internal/cache"
@@ -121,6 +122,14 @@ func (s *System) Hierarchy() *cache.Hierarchy { return s.hier }
 // Run executes the configured warmup + measurement window and returns the
 // collected metrics.
 func (s *System) Run() (Metrics, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation: the context is checked
+// between event-queue slices (every simulated millisecond), so a
+// cancelled or timed-out context stops the run mid-window with ctx's
+// error instead of completing it. A System is single-use either way.
+func (s *System) RunContext(ctx context.Context) (Metrics, error) {
 	end := s.cfg.Warmup + s.cfg.Duration
 	for _, c := range s.cores {
 		c.StopAt(end)
@@ -133,10 +142,14 @@ func (s *System) Run() (Metrics, error) {
 		cust.Start(s.eq)
 	}
 
-	s.eq.RunUntil(s.cfg.Warmup)
+	if err := s.runUntil(ctx, s.cfg.Warmup); err != nil {
+		return Metrics{}, err
+	}
 	snap := s.snapshot()
 
-	s.eq.RunUntil(end)
+	if err := s.runUntil(ctx, end); err != nil {
+		return Metrics{}, err
+	}
 
 	// Stop new refresh issue and drain in-flight memory traffic so the
 	// last writes are accounted. Expiries past this horizon are
@@ -147,6 +160,9 @@ func (s *System) Run() (Metrics, error) {
 	}
 	deadline := end + 100*timing.Millisecond
 	for s.ctl.Pending() && s.eq.Now() < deadline {
+		if err := ctx.Err(); err != nil {
+			return Metrics{}, fmt.Errorf("sim: run cancelled at %v: %w", s.eq.Now(), err)
+		}
 		s.eq.RunUntil(s.eq.Now() + timing.Millisecond)
 	}
 	if s.ctl.Pending() {
@@ -156,6 +172,22 @@ func (s *System) Run() (Metrics, error) {
 		s.checker.finish(s.eq.Now())
 	}
 	return s.collect(snap), nil
+}
+
+// runUntil advances the event queue to t in millisecond slices, checking
+// ctx between slices.
+func (s *System) runUntil(ctx context.Context, t timing.Time) error {
+	for now := s.eq.Now(); now < t; now = s.eq.Now() {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("sim: run cancelled at %v: %w", now, err)
+		}
+		next := now + timing.Millisecond
+		if next > t {
+			next = t
+		}
+		s.eq.RunUntil(next)
+	}
+	return nil
 }
 
 // snapshot captures every counter the measurement window must subtract.

@@ -33,8 +33,11 @@
 package rrmpcm
 
 import (
+	"context"
+
 	"rrmpcm/internal/cache"
 	"rrmpcm/internal/core"
+	"rrmpcm/internal/engine"
 	"rrmpcm/internal/experiments"
 	"rrmpcm/internal/memctrl"
 	"rrmpcm/internal/pcm"
@@ -188,6 +191,24 @@ func Run(cfg Config) (Metrics, error) {
 	}
 	return sys.Run()
 }
+
+// RunContext is Run with cooperative cancellation: a cancelled or
+// timed-out context stops the simulation mid-window with the context's
+// error. The parallel experiment engine (internal/engine, surfaced as
+// cmd/experiments -parallel and cmd/rrmsim -parallel) uses this to bound
+// and interrupt fanned-out runs.
+func RunContext(ctx context.Context, cfg Config) (Metrics, error) {
+	sys, err := sim.New(cfg)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return sys.RunContext(ctx)
+}
+
+// ConfigHash returns the deterministic identity of a run configuration
+// (hex SHA-256 of its canonical serialized image) — the key the
+// experiment engine's disk-backed run cache files results under.
+func ConfigHash(cfg Config) (string, error) { return engine.ConfigHash(cfg) }
 
 // Geomean returns the geometric mean of positive values (the paper's
 // cross-workload summary statistic).
