@@ -4,14 +4,18 @@
 #   vet    static checks
 #   test   full unit suite
 #   race   race-detector pass over the packages the parallel engine
-#          drives (engine, experiments, and the sim/trace paths its
-#          workers execute concurrently)
+#          drives (engine, experiments, the HTTP service, and the
+#          sim/trace paths its workers execute concurrently)
 #   bench  paper-artifact benchmarks (quick windows)
 #   ci     build + vet + test + race
+#
+# serve-smoke boots rrmserve on a scratch port, pushes one quick job
+# through the full HTTP path (submit -> stream -> result -> metrics)
+# and fails unless the result comes back 200.
 
 GO ?= go
 
-.PHONY: build vet test race bench ci
+.PHONY: build vet test race bench ci serve-smoke
 
 build:
 	$(GO) build ./...
@@ -23,9 +27,12 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/engine/... ./internal/experiments/... ./internal/sim/... ./internal/trace/...
+	$(GO) test -race ./internal/engine/... ./internal/experiments/... ./internal/server/... ./internal/sim/... ./internal/trace/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
+
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 ci: build vet test race

@@ -28,6 +28,7 @@ import (
 	"strings"
 	"time"
 
+	"rrmpcm/internal/buildinfo"
 	"rrmpcm/internal/experiments"
 )
 
@@ -41,8 +42,13 @@ func main() {
 	parallel := flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	cacheDir := flag.String("cache-dir", "", "disk-backed run cache directory (empty = memory only)")
 	jobTimeout := flag.Duration("job-timeout", 0, "per-simulation wall-clock budget (0 = none)")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
 
+	if *version {
+		fmt.Println(buildinfo.String())
+		return
+	}
 	if *list {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-24s %s\n", e.ID, e.Title)

@@ -1,0 +1,102 @@
+// Command rrmserve is the HTTP simulation service: submit RRM
+// simulation jobs over JSON, follow their progress as SSE/NDJSON
+// streams, fetch results, and scrape Prometheus metrics.
+//
+// Usage:
+//
+//	rrmserve [-addr :8321] [-queue 64] [-workers N] [-cache-dir dir]
+//	         [-job-timeout d] [-request-timeout 30s] [-drain-timeout 30s]
+//	         [-version]
+//
+// Endpoints:
+//
+//	POST /api/v1/jobs              submit {"scheme":"rrm","workload":"GemsFDTD","quick":true}
+//	                               or a full {"config":{...}} document
+//	GET  /api/v1/jobs              list known jobs
+//	GET  /api/v1/jobs/{id}         job status
+//	GET  /api/v1/jobs/{id}/result  metrics (also served from the disk run cache)
+//	GET  /api/v1/jobs/{id}/events  progress stream (SSE; ?format=ndjson for NDJSON)
+//	GET  /api/v1/workloads         submittable workloads
+//	GET  /api/v1/schemes           submittable schemes
+//	GET  /metrics                  Prometheus text exposition
+//	GET  /healthz                  liveness + build info
+//
+// SIGINT/SIGTERM triggers a graceful drain: intake stops (503), queued
+// and running jobs finish, and only after -drain-timeout are in-flight
+// simulations cancelled.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rrmpcm/internal/buildinfo"
+	"rrmpcm/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8321", "listen address")
+	queue := flag.Int("queue", 64, "job queue capacity (submissions beyond it get 429)")
+	workers := flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	cacheDir := flag.String("cache-dir", "", "disk-backed run cache directory (empty = no cache)")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-simulation wall-clock budget (0 = none)")
+	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "non-streaming request timeout")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "shutdown drain budget before in-flight jobs are cancelled")
+	version := flag.Bool("version", false, "print build information and exit")
+	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.String())
+		return
+	}
+
+	srv, err := server.New(server.Options{
+		QueueSize:      *queue,
+		Workers:        *workers,
+		CacheDir:       *cacheDir,
+		JobTimeout:     *jobTimeout,
+		RequestTimeout: *reqTimeout,
+	})
+	if err != nil {
+		log.Fatalf("rrmserve: %v", err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("rrmserve %s listening on %s (queue %d, cache %q)",
+			buildinfo.Version(), *addr, *queue, *cacheDir)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		log.Fatalf("rrmserve: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("rrmserve: draining (budget %s)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		log.Printf("rrmserve: http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("rrmserve: job drain: %v", err)
+	} else {
+		log.Printf("rrmserve: drained cleanly")
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("rrmserve: %v", err)
+	}
+}

@@ -33,7 +33,10 @@ import (
 	"time"
 
 	"rrmpcm"
+	"rrmpcm/internal/buildinfo"
 	"rrmpcm/internal/engine"
+	"rrmpcm/internal/experiments"
+	"rrmpcm/internal/stats"
 )
 
 func main() {
@@ -49,8 +52,13 @@ func main() {
 	parallel := flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	cacheDir := flag.String("cache-dir", "", "disk-backed run cache directory (empty = no cache)")
 	listW := flag.Bool("list-workloads", false, "list workloads and exit")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
 
+	if *version {
+		fmt.Println(buildinfo.String())
+		return
+	}
 	if *listW {
 		for _, w := range rrmpcm.Workloads() {
 			names := make([]string, len(w.Cores))
@@ -87,11 +95,12 @@ func main() {
 		cfg.Warmup = rrmpcm.Time(warmup.Nanoseconds()) * rrmpcm.Nanosecond
 		cfg.TimeScale = *timescale
 		cfg.Seed = *seed
-		key, err := rrmpcm.ConfigHash(cfg)
+		job, err := experiments.NewJob(cfg, "")
 		if err != nil {
 			fatal(err)
 		}
-		jobs[i] = engine.Job{Key: key, Name: w.Name, Config: cfg}
+		job.Name = w.Name
+		jobs[i] = job
 	}
 
 	eopt := engine.Options{Parallel: *parallel}
@@ -183,7 +192,7 @@ func report(m rrmpcm.Metrics, wall time.Duration) bool {
 	fmt.Printf("  RRM fast refresh     %8.3g\n", m.WearRRMRate)
 	fmt.Printf("  slow refresh         %8.3g\n", m.WearSlowRate)
 	fmt.Printf("  global refresh       %8.3g\n", m.WearGlobalRate)
-	fmt.Printf("  lifetime             %8.2f years\n\n", m.LifetimeYears)
+	fmt.Printf("  lifetime             %8s years\n\n", stats.FormatYears(m.LifetimeYears))
 
 	fmt.Printf("Energy (over the paper's 5 s window)\n")
 	fmt.Printf("  demand writes        %8.3f J\n", m.EnergyDemandJ)

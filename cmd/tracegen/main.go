@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"rrmpcm"
+	"rrmpcm/internal/buildinfo"
 )
 
 func main() {
@@ -24,7 +25,13 @@ func main() {
 	ops := flag.Int("ops", 500_000, "memory operations to generate")
 	dump := flag.Bool("dump", false, "print raw ops instead of statistics")
 	seed := flag.Uint64("seed", 1, "generator seed")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.String())
+		return
+	}
 
 	profiles := rrmpcm.Profiles()
 	if *name != "" {

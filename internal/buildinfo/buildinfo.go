@@ -1,0 +1,53 @@
+// Package buildinfo reports the build's identity — module version, VCS
+// revision, Go toolchain — for the -version flag every command carries
+// and the HTTP service's /healthz endpoint. It reads everything from
+// runtime/debug.ReadBuildInfo, so there is no ldflags stamping to keep
+// in sync.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version returns the most specific version string available: the
+// module version when built as a dependency, otherwise the VCS
+// revision (12-char, "-dirty" suffixed when the tree was modified),
+// otherwise "devel".
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	var rev string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "devel"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "-dirty"
+	}
+	return rev
+}
+
+// String returns the one-line banner printed by -version:
+// "rrmpcm <version> <go version> <os>/<arch>".
+func String() string {
+	return fmt.Sprintf("rrmpcm %s %s %s/%s",
+		Version(), runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}

@@ -1,0 +1,26 @@
+package buildinfo
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestVersionNonEmpty(t *testing.T) {
+	if Version() == "" {
+		t.Fatal("Version() returned empty string")
+	}
+}
+
+func TestStringShape(t *testing.T) {
+	s := String()
+	if !strings.HasPrefix(s, "rrmpcm ") {
+		t.Fatalf("String() = %q, want rrmpcm prefix", s)
+	}
+	if !strings.Contains(s, runtime.Version()) {
+		t.Fatalf("String() = %q, want Go version %q", s, runtime.Version())
+	}
+	if !strings.Contains(s, runtime.GOOS+"/"+runtime.GOARCH) {
+		t.Fatalf("String() = %q, want os/arch", s)
+	}
+}

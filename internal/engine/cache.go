@@ -12,8 +12,9 @@ import (
 )
 
 // cacheFormat guards entry decoding; entries written by an incompatible
-// build read as misses, not errors.
-const cacheFormat = 1
+// build read as misses, not errors. Format 2 switched Metrics.
+// WritesByMode to mode-name keys (sim.ModeWrites).
+const cacheFormat = 2
 
 // cacheEntry is the on-disk envelope of one cached run.
 type cacheEntry struct {

@@ -99,6 +99,10 @@ type Options struct {
 	// serialized by the engine; the callback may write to shared sinks
 	// without further locking.
 	Progress func(Result)
+	// Observer, if non-nil, receives per-job lifecycle events
+	// (queued -> running -> done/failed, with timestamps). Calls are
+	// serialized with each other and with Progress; see Observer.
+	Observer Observer
 	// Sim overrides the simulation function (tests only).
 	Sim SimFunc
 }
@@ -139,6 +143,10 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 		}
 	}
 
+	for _, j := range uniqJobs {
+		e.notify(JobEvent{Job: j, State: JobStateQueued, At: time.Now()})
+	}
+
 	uniq := make([]Result, len(uniqJobs))
 	feed := make(chan int)
 	var wg sync.WaitGroup
@@ -151,7 +159,7 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range feed {
-				uniq[i] = e.runJob(ctx, uniqJobs[i])
+				uniq[i] = e.execute(ctx, uniqJobs[i])
 				if e.opt.Progress != nil {
 					e.progressMu.Lock()
 					e.opt.Progress(uniq[i])
@@ -171,12 +179,14 @@ feeding:
 	close(feed)
 	wg.Wait()
 
-	// Jobs the cancelled feed never dispatched report the context error.
+	// Jobs the cancelled feed never dispatched report the context error
+	// (and close their lifecycle with a Failed event).
 	for i := range uniq {
 		if uniq[i].Key == "" {
 			j := uniqJobs[i]
 			uniq[i] = Result{Key: j.Key, Name: j.Name,
 				Err: fmt.Errorf("engine: %s: not run: %w", j.label(), ctx.Err())}
+			e.notify(JobEvent{Job: j, State: JobStateFailed, At: time.Now(), Result: &uniq[i]})
 		}
 	}
 

@@ -1,0 +1,108 @@
+package engine
+
+import (
+	"context"
+	"time"
+)
+
+// JobState is a point in a job's lifecycle. Every job moves strictly
+// forward: Queued, then Running, then exactly one of Done or Failed.
+// Jobs a cancelled Run never dispatched skip Running and go straight to
+// Failed (their Result carries the context error).
+type JobState int
+
+const (
+	// JobStateQueued: the job was accepted for execution.
+	JobStateQueued JobState = iota
+	// JobStateRunning: a worker picked the job up (cache probe and
+	// simulation happen in this state).
+	JobStateRunning
+	// JobStateDone: the job finished with valid metrics (simulated or
+	// loaded from the disk cache).
+	JobStateDone
+	// JobStateFailed: the job finished with an error (simulation
+	// failure, panic, timeout, or cancellation before dispatch).
+	JobStateFailed
+)
+
+// Terminal reports whether the state ends a job's lifecycle.
+func (s JobState) Terminal() bool { return s == JobStateDone || s == JobStateFailed }
+
+// String implements fmt.Stringer with the wire spelling used by the
+// HTTP service and its streams.
+func (s JobState) String() string {
+	switch s {
+	case JobStateQueued:
+		return "queued"
+	case JobStateRunning:
+		return "running"
+	case JobStateDone:
+		return "done"
+	case JobStateFailed:
+		return "failed"
+	default:
+		return "unknown"
+	}
+}
+
+// JobEvent is one lifecycle transition of one job.
+type JobEvent struct {
+	// Job is the job transitioning (always populated).
+	Job Job
+	// State is the state entered.
+	State JobState
+	// At is the transition's wall-clock timestamp.
+	At time.Time
+	// Result is non-nil exactly for terminal states.
+	Result *Result
+}
+
+// Observer receives job lifecycle events. The engine serializes calls
+// (one event at a time, across all workers), and per job the order is
+// always Queued, [Running,] then one terminal event, so an observer may
+// maintain per-job state machines without locking against itself.
+// Observers must not block: they run on the engine's worker goroutines.
+type Observer interface {
+	ObserveJob(JobEvent)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(JobEvent)
+
+// ObserveJob implements Observer.
+func (f ObserverFunc) ObserveJob(ev JobEvent) { f(ev) }
+
+// notify emits one event to the configured observer, serialized with
+// every other observer and progress call.
+func (e *Engine) notify(ev JobEvent) {
+	if e.opt.Observer == nil {
+		return
+	}
+	e.progressMu.Lock()
+	e.opt.Observer.ObserveJob(ev)
+	e.progressMu.Unlock()
+}
+
+// execute runs one job on the calling goroutine, emitting the Running
+// and terminal events around it.
+func (e *Engine) execute(ctx context.Context, j Job) Result {
+	e.notify(JobEvent{Job: j, State: JobStateRunning, At: time.Now()})
+	res := e.runJob(ctx, j)
+	state := JobStateDone
+	if res.Err != nil {
+		state = JobStateFailed
+	}
+	e.notify(JobEvent{Job: j, State: state, At: time.Now(), Result: &res})
+	return res
+}
+
+// Execute runs a single job synchronously on the caller's goroutine:
+// disk-cache probe, simulation (with the engine's per-job timeout and
+// panic recovery), store. It emits the full Queued/Running/terminal
+// event sequence, so callers that manage their own queues (the HTTP
+// service) get the same observability as batch Run callers. Unlike Run
+// it performs no deduplication; idempotency is the caller's concern.
+func (e *Engine) Execute(ctx context.Context, j Job) Result {
+	e.notify(JobEvent{Job: j, State: JobStateQueued, At: time.Now()})
+	return e.execute(ctx, j)
+}

@@ -1,0 +1,211 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rrmpcm/internal/sim"
+)
+
+// eventLog collects observer events for inspection.
+type eventLog struct {
+	mu     sync.Mutex
+	events []JobEvent
+}
+
+func (l *eventLog) ObserveJob(ev JobEvent) {
+	l.mu.Lock()
+	l.events = append(l.events, ev)
+	l.mu.Unlock()
+}
+
+func (l *eventLog) byKey() map[string][]JobEvent {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := map[string][]JobEvent{}
+	for _, ev := range l.events {
+		out[ev.Job.Key] = append(out[ev.Job.Key], ev)
+	}
+	return out
+}
+
+// checkLifecycle asserts one job's event sequence is well-formed:
+// queued first, a terminal event last, running (if present) in
+// between, timestamps non-decreasing, result attached exactly to the
+// terminal event.
+func checkLifecycle(t *testing.T, key string, evs []JobEvent) {
+	t.Helper()
+	if len(evs) < 2 {
+		t.Fatalf("job %s: %d events, want >= 2", key, len(evs))
+	}
+	if evs[0].State != JobStateQueued {
+		t.Errorf("job %s: first state %v, want queued", key, evs[0].State)
+	}
+	last := evs[len(evs)-1]
+	if !last.State.Terminal() {
+		t.Errorf("job %s: last state %v, want terminal", key, last.State)
+	}
+	if last.Result == nil {
+		t.Errorf("job %s: terminal event without result", key)
+	}
+	for i, ev := range evs {
+		if i > 0 && ev.At.Before(evs[i-1].At) {
+			t.Errorf("job %s: event %d timestamp went backwards", key, i)
+		}
+		if ev.State.Terminal() != (i == len(evs)-1) {
+			t.Errorf("job %s: terminal state at position %d of %d", key, i, len(evs))
+		}
+		if (ev.Result != nil) != ev.State.Terminal() {
+			t.Errorf("job %s: result attached to non-terminal state %v", key, ev.State)
+		}
+	}
+}
+
+// TestObserverRunLifecycle: Run emits queued -> running -> done for
+// every unique job, once per key even when jobs share keys.
+func TestObserverRunLifecycle(t *testing.T) {
+	log := &eventLog{}
+	e := New(Options{Parallel: 4, Observer: log,
+		Sim: func(ctx context.Context, cfg simConfig) (simMetrics, error) {
+			return seedMetrics(cfg), nil
+		}})
+	jobs := fakeJobs(6)
+	jobs = append(jobs, jobs[0], jobs[3]) // duplicates share one lifecycle
+	if _, err := e.Run(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	byKey := log.byKey()
+	if len(byKey) != 6 {
+		t.Fatalf("events for %d keys, want 6 (duplicates must not re-run)", len(byKey))
+	}
+	for key, evs := range byKey {
+		if len(evs) != 3 {
+			t.Errorf("job %s: %d events, want 3 (queued/running/done)", key, len(evs))
+		}
+		checkLifecycle(t, key, evs)
+		if last := evs[len(evs)-1]; last.State != JobStateDone {
+			t.Errorf("job %s: final state %v, want done", key, last.State)
+		}
+	}
+}
+
+// TestObserverFailure: a failing simulation closes with JobStateFailed
+// and the result carries the error.
+func TestObserverFailure(t *testing.T) {
+	log := &eventLog{}
+	boom := fmt.Errorf("boom")
+	e := New(Options{Parallel: 2, Observer: log,
+		Sim: func(ctx context.Context, cfg simConfig) (simMetrics, error) {
+			return simMetrics{}, boom
+		}})
+	if _, err := e.Run(context.Background(), fakeJobs(3)); err != nil {
+		t.Fatal(err)
+	}
+	for key, evs := range log.byKey() {
+		checkLifecycle(t, key, evs)
+		last := evs[len(evs)-1]
+		if last.State != JobStateFailed {
+			t.Errorf("job %s: final state %v, want failed", key, last.State)
+		}
+		if last.Result.Err == nil {
+			t.Errorf("job %s: failed event without error", key)
+		}
+	}
+}
+
+// TestObserverCancelledRun: jobs a cancelled Run never dispatched
+// still close their lifecycle (queued -> failed).
+func TestObserverCancelledRun(t *testing.T) {
+	log := &eventLog{}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e := New(Options{Parallel: 2, Observer: log,
+		Sim: func(ctx context.Context, cfg simConfig) (simMetrics, error) {
+			return seedMetrics(cfg), nil
+		}})
+	if _, err := e.Run(ctx, fakeJobs(5)); err == nil {
+		t.Fatal("Run on a cancelled context returned nil error")
+	}
+	byKey := log.byKey()
+	if len(byKey) != 5 {
+		t.Fatalf("events for %d keys, want 5", len(byKey))
+	}
+	for key, evs := range byKey {
+		checkLifecycle(t, key, evs)
+		if last := evs[len(evs)-1]; last.State != JobStateFailed {
+			t.Errorf("job %s: final state %v, want failed", key, last.State)
+		}
+	}
+}
+
+// TestExecuteLifecycle: the single-job entry point emits the same
+// three-event sequence as a batch Run.
+func TestExecuteLifecycle(t *testing.T) {
+	log := &eventLog{}
+	e := New(Options{Observer: log,
+		Sim: func(ctx context.Context, cfg simConfig) (simMetrics, error) {
+			return seedMetrics(cfg), nil
+		}})
+	job := fakeJobs(1)[0]
+	res := e.Execute(context.Background(), job)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	evs := log.byKey()[job.Key]
+	if len(evs) != 3 {
+		t.Fatalf("%d events, want 3", len(evs))
+	}
+	checkLifecycle(t, job.Key, evs)
+	want := []JobState{JobStateQueued, JobStateRunning, JobStateDone}
+	for i, ev := range evs {
+		if ev.State != want[i] {
+			t.Errorf("event %d state %v, want %v", i, ev.State, want[i])
+		}
+	}
+}
+
+// TestExecuteConcurrent: 32 concurrent Execute calls keep observer
+// accounting consistent (run under -race).
+func TestExecuteConcurrent(t *testing.T) {
+	log := &eventLog{}
+	var ran atomic.Int64
+	e := New(Options{Observer: log,
+		Sim: func(ctx context.Context, cfg simConfig) (simMetrics, error) {
+			ran.Add(1)
+			time.Sleep(time.Millisecond)
+			return seedMetrics(cfg), nil
+		}})
+	const n = 32
+	jobs := fakeJobs(n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if res := e.Execute(context.Background(), jobs[i]); res.Err != nil {
+				t.Errorf("job %d: %v", i, res.Err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := ran.Load(); got != n {
+		t.Fatalf("%d simulations ran, want %d", got, n)
+	}
+	byKey := log.byKey()
+	if len(byKey) != n {
+		t.Fatalf("events for %d keys, want %d", len(byKey), n)
+	}
+	for key, evs := range byKey {
+		checkLifecycle(t, key, evs)
+	}
+}
+
+// Local aliases so the fake Sim signatures above stay short.
+type (
+	simConfig  = sim.Config
+	simMetrics = sim.Metrics
+)

@@ -106,7 +106,7 @@ func TestQuickOptions(t *testing.T) {
 	if len(ws) != 3 {
 		t.Errorf("quick workloads = %d, want 3", len(ws))
 	}
-	cfg := opt.simConfig(mainSchemes()[0], ws[0])
+	cfg := opt.SimConfig(mainSchemes()[0], ws[0])
 	if cfg.Duration != 4*timing.Millisecond || cfg.TimeScale != 500 {
 		t.Errorf("quick config = %v/%v", cfg.Duration, cfg.TimeScale)
 	}

@@ -55,8 +55,11 @@ type Options struct {
 	Context context.Context
 }
 
-// simConfig builds the run configuration for a scheme/workload pair.
-func (o Options) simConfig(scheme sim.Scheme, w trace.Workload) sim.Config {
+// SimConfig builds the run configuration for a scheme/workload pair
+// under the pass's options (quick windows, seed). It is the shared
+// config constructor of cmd/experiments batches and HTTP-service
+// shorthand submissions.
+func (o Options) SimConfig(scheme sim.Scheme, w trace.Workload) sim.Config {
 	cfg := sim.DefaultConfig(scheme, w)
 	if o.Quick {
 		cfg.Duration = 4 * timing.Millisecond
@@ -162,24 +165,11 @@ func (r *Runner) context() context.Context {
 
 // specJob builds the config and deterministic cache key for one spec.
 func (r *Runner) specJob(spec RunSpec) (engine.Job, error) {
-	cfg := r.opt.simConfig(spec.Scheme, spec.Workload)
+	cfg := r.opt.SimConfig(spec.Scheme, spec.Workload)
 	if spec.Mutate != nil {
 		spec.Mutate(&cfg)
 	}
-	key, err := engine.ConfigHash(cfg)
-	if err != nil {
-		return engine.Job{}, err
-	}
-	name := spec.Label + "/" + cfg.Scheme.Name() + "/" + spec.Workload.Name
-	job := engine.Job{Key: key, Name: name, Config: cfg}
-	if !engine.Cacheable(cfg) {
-		// The hash cannot see custom-policy internals: keep such runs
-		// out of the disk cache and fold the label into the key so two
-		// differently-labelled custom runs never alias in memory.
-		job.Uncacheable = true
-		job.Key = key + "/custom/" + spec.Label
-	}
-	return job, nil
+	return NewJob(cfg, spec.Label)
 }
 
 // RunBatch simulates (or loads from cache) every spec and returns their

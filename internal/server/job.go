@@ -1,0 +1,167 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"rrmpcm/internal/engine"
+)
+
+// StreamEvent is one job lifecycle transition as serialized onto the
+// progress streams (SSE data frames and NDJSON lines) — a flattened,
+// wire-stable view of engine.JobEvent.
+type StreamEvent struct {
+	Seq         int       `json:"seq"`
+	JobID       string    `json:"job_id"`
+	State       string    `json:"state"`
+	At          time.Time `json:"at"`
+	Cached      bool      `json:"cached,omitempty"`
+	WallSeconds float64   `json:"wall_seconds,omitempty"`
+	Error       string    `json:"error,omitempty"`
+}
+
+// terminal reports whether the event ends its job's stream.
+func (ev StreamEvent) terminal() bool {
+	return ev.State == engine.JobStateDone.String() || ev.State == engine.JobStateFailed.String()
+}
+
+// jobRecord is the server-side state machine of one submitted job. The
+// record is the unit of idempotency: its id is the engine config hash,
+// so resubmitting an identical config lands on the same record.
+type jobRecord struct {
+	id   string
+	ejob engine.Job
+
+	mu        sync.Mutex
+	state     engine.JobState
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	result    *engine.Result
+	events    []StreamEvent
+	subs      map[chan StreamEvent]struct{}
+}
+
+func newJobRecord(id string, ejob engine.Job, now time.Time) *jobRecord {
+	rec := &jobRecord{
+		id:        id,
+		ejob:      ejob,
+		state:     engine.JobStateQueued,
+		submitted: now,
+		subs:      map[chan StreamEvent]struct{}{},
+	}
+	rec.events = append(rec.events, StreamEvent{
+		Seq: 1, JobID: id, State: engine.JobStateQueued.String(), At: now,
+	})
+	return rec
+}
+
+// completedRecord builds a record that was satisfied without running —
+// a disk-cache hit at submission time. Its event history is the full
+// queued/running/done sequence (all at the same instant), so late
+// stream subscribers see a well-formed lifecycle.
+func completedRecord(id string, ejob engine.Job, res engine.Result, now time.Time) *jobRecord {
+	rec := newJobRecord(id, ejob, now)
+	rec.state = engine.JobStateDone
+	rec.started, rec.finished = now, now
+	rec.result = &res
+	rec.events = append(rec.events,
+		StreamEvent{Seq: 2, JobID: id, State: engine.JobStateRunning.String(), At: now},
+		StreamEvent{Seq: 3, JobID: id, State: engine.JobStateDone.String(), At: now,
+			Cached: true, WallSeconds: res.Wall.Seconds()},
+	)
+	return rec
+}
+
+// transition moves the record to state, appending and broadcasting the
+// stream event. res must be non-nil for terminal states.
+func (rec *jobRecord) transition(state engine.JobState, res *engine.Result, now time.Time) {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	rec.state = state
+	ev := StreamEvent{
+		Seq: len(rec.events) + 1, JobID: rec.id, State: state.String(), At: now,
+	}
+	switch state {
+	case engine.JobStateRunning:
+		rec.started = now
+	case engine.JobStateDone, engine.JobStateFailed:
+		rec.finished = now
+		rec.result = res
+		if res != nil {
+			ev.Cached = res.Cached
+			ev.WallSeconds = res.Wall.Seconds()
+			if res.Err != nil {
+				ev.Error = res.Err.Error()
+			}
+		}
+	}
+	rec.events = append(rec.events, ev)
+	for ch := range rec.subs {
+		select {
+		case ch <- ev:
+		default:
+			// A subscriber that cannot keep up (buffer 16, a job emits
+			// at most 4 events) loses the event rather than blocking a
+			// worker; the replay-on-subscribe path makes this benign.
+		}
+	}
+}
+
+// subscribe returns the record's event history so far plus a channel
+// carrying subsequent events, and a cancel function that detaches the
+// channel. History and registration are atomic: no event is ever
+// missed or duplicated between the two.
+func (rec *jobRecord) subscribe() ([]StreamEvent, <-chan StreamEvent, func()) {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	history := make([]StreamEvent, len(rec.events))
+	copy(history, rec.events)
+	ch := make(chan StreamEvent, 16)
+	rec.subs[ch] = struct{}{}
+	return history, ch, func() {
+		rec.mu.Lock()
+		delete(rec.subs, ch)
+		rec.mu.Unlock()
+	}
+}
+
+// status snapshots the record into the wire representation.
+func (rec *jobRecord) status() JobStatus {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	st := JobStatus{
+		ID:          rec.id,
+		Name:        rec.ejob.Name,
+		Scheme:      rec.ejob.Config.Scheme.Name(),
+		Workload:    rec.ejob.Config.Workload.Name,
+		State:       rec.state.String(),
+		SubmittedAt: rec.submitted,
+	}
+	if !rec.started.IsZero() {
+		t := rec.started
+		st.StartedAt = &t
+	}
+	if !rec.finished.IsZero() {
+		t := rec.finished
+		st.FinishedAt = &t
+	}
+	if rec.result != nil {
+		st.Cached = rec.result.Cached
+		st.WallSeconds = rec.result.Wall.Seconds()
+		if rec.result.Err != nil {
+			st.Error = rec.result.Err.Error()
+		}
+	}
+	return st
+}
+
+// snapshotResult returns the terminal result, if any.
+func (rec *jobRecord) snapshotResult() (engine.Result, bool) {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if rec.result == nil {
+		return engine.Result{}, false
+	}
+	return *rec.result, true
+}

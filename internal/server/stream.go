@@ -1,0 +1,77 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// handleStream serves a job's lifecycle as a live stream: Server-Sent
+// Events by default, newline-delimited JSON with ?format=ndjson (or an
+// Accept: application/x-ndjson header). The stream replays the job's
+// full history first — a subscriber arriving after completion still
+// sees the ordered queued/running/terminal sequence — then follows the
+// job until its terminal event, and ends there.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	rec, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job "+r.PathValue("id"))
+		return
+	}
+	ndjson := r.URL.Query().Get("format") == "ndjson" ||
+		strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
+
+	flusher, canFlush := w.(http.Flusher)
+	if ndjson {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	} else {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		w.Header().Set("Connection", "keep-alive")
+	}
+	w.WriteHeader(http.StatusOK)
+
+	emit := func(ev StreamEvent) error {
+		blob, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if ndjson {
+			_, err = fmt.Fprintf(w, "%s\n", blob)
+		} else {
+			_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.State, blob)
+		}
+		if err != nil {
+			return err
+		}
+		if canFlush {
+			flusher.Flush()
+		}
+		return nil
+	}
+
+	history, live, cancel := rec.subscribe()
+	defer cancel()
+	for _, ev := range history {
+		if emit(ev) != nil {
+			return
+		}
+		if ev.terminal() {
+			return
+		}
+	}
+	for {
+		select {
+		case ev := <-live:
+			if emit(ev) != nil {
+				return
+			}
+			if ev.terminal() {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -33,8 +33,9 @@ type Metrics struct {
 	RowBufHitRate   float64
 	WritePauses     uint64
 
-	// Write-mode split of demand writes.
-	WritesByMode       map[pcm.WriteMode]uint64
+	// Write-mode split of demand writes. ModeWrites serializes with
+	// readable mode-name keys (see metrics_json.go).
+	WritesByMode       ModeWrites
 	ShortWriteFraction float64
 
 	// Wear, as real block-writes per second, by cause.
@@ -72,7 +73,7 @@ func (s *System) collect(sn snapshot) Metrics {
 		Scheme:       s.cfg.Scheme.Name(),
 		Workload:     s.cfg.Workload.Name,
 		TimeScale:    s.cfg.TimeScale,
-		WritesByMode: map[pcm.WriteMode]uint64{},
+		WritesByMode: ModeWrites{},
 	}
 	window := s.cfg.Duration
 	m.SimSeconds = window.Seconds()

@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"rrmpcm/internal/pcm"
+)
+
+// ModeWrites is a per-write-mode counter map with a stable, readable
+// JSON encoding: keys are the paper's mode names ("3-SETs-Write"),
+// emitted in mode order, instead of encoding/json's default opaque
+// integer-keyed map. This is the snapshot format the run cache and the
+// HTTP service serve, so it must round-trip exactly.
+type ModeWrites map[pcm.WriteMode]uint64
+
+// MarshalJSON implements json.Marshaler with mode-name keys in
+// ascending mode order.
+func (w ModeWrites) MarshalJSON() ([]byte, error) {
+	if w == nil {
+		return []byte("null"), nil
+	}
+	modes := make([]pcm.WriteMode, 0, len(w))
+	for m := range w {
+		modes = append(modes, m)
+	}
+	sort.Slice(modes, func(i, j int) bool { return modes[i] < modes[j] })
+	buf := []byte{'{'}
+	for i, m := range modes {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		key, err := json.Marshal(m.String())
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, key...)
+		buf = append(buf, ':')
+		buf = strconv.AppendUint(buf, w[m], 10)
+	}
+	return append(buf, '}'), nil
+}
+
+// UnmarshalJSON implements json.Unmarshaler, accepting both mode names
+// ("7-SETs-Write") and bare mode numbers ("7", the pre-v2 cache
+// encoding).
+func (w *ModeWrites) UnmarshalJSON(blob []byte) error {
+	var raw map[string]uint64
+	if err := json.Unmarshal(blob, &raw); err != nil {
+		return err
+	}
+	if raw == nil {
+		*w = nil
+		return nil
+	}
+	out := make(ModeWrites, len(raw))
+	for key, n := range raw {
+		m, err := ParseWriteMode(key)
+		if err != nil {
+			return err
+		}
+		out[m] = n
+	}
+	*w = out
+	return nil
+}
+
+// ParseWriteMode maps a mode spelling — "7-SETs-Write", "7-SETs",
+// "static-7", or plain "7" — to the write mode.
+func ParseWriteMode(s string) (pcm.WriteMode, error) {
+	for _, m := range pcm.Modes() {
+		switch s {
+		case m.String(),
+			fmt.Sprintf("%d-SETs", m.Sets()),
+			fmt.Sprintf("static-%d", m.Sets()),
+			strconv.Itoa(m.Sets()):
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("sim: unknown write mode %q", s)
+}

@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"rrmpcm/internal/pcm"
+)
+
+func TestModeWritesMarshalStable(t *testing.T) {
+	w := ModeWrites{pcm.Mode7SETs: 10, pcm.Mode3SETs: 3, pcm.Mode5SETs: 5}
+	blob, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"3-SETs-Write":3,"5-SETs-Write":5,"7-SETs-Write":10}`
+	if string(blob) != want {
+		t.Errorf("marshal = %s, want %s (name keys in mode order)", blob, want)
+	}
+	// Deterministic across repeated marshals (map order must not leak).
+	for i := 0; i < 10; i++ {
+		again, _ := json.Marshal(w)
+		if string(again) != want {
+			t.Fatalf("marshal unstable: %s", again)
+		}
+	}
+}
+
+func TestModeWritesRoundTrip(t *testing.T) {
+	in := ModeWrites{}
+	for _, m := range pcm.Modes() {
+		in[m] = uint64(m) * 100
+	}
+	blob, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out ModeWrites
+	if err := json.Unmarshal(blob, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip lost entries: %v -> %v", in, out)
+	}
+	for m, n := range in {
+		if out[m] != n {
+			t.Errorf("mode %v: %d -> %d", m, n, out[m])
+		}
+	}
+}
+
+func TestModeWritesNil(t *testing.T) {
+	var w ModeWrites
+	blob, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob) != "null" {
+		t.Errorf("nil map marshals as %s", blob)
+	}
+	var out ModeWrites
+	if err := json.Unmarshal([]byte("null"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		t.Errorf("null unmarshals as %v, want nil", out)
+	}
+}
+
+func TestModeWritesAcceptsLegacyKeys(t *testing.T) {
+	// Format-1 cache files used encoding/json's integer map keys.
+	var out ModeWrites
+	if err := json.Unmarshal([]byte(`{"3":1,"7":2}`), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out[pcm.Mode3SETs] != 1 || out[pcm.Mode7SETs] != 2 {
+		t.Errorf("legacy keys decoded as %v", out)
+	}
+}
+
+func TestModeWritesRejectsUnknownKey(t *testing.T) {
+	var out ModeWrites
+	err := json.Unmarshal([]byte(`{"8-SETs-Write":1}`), &out)
+	if err == nil || !strings.Contains(err.Error(), "unknown write mode") {
+		t.Errorf("unknown mode error = %v", err)
+	}
+}
+
+func TestParseWriteMode(t *testing.T) {
+	good := map[string]pcm.WriteMode{
+		"7-SETs-Write": pcm.Mode7SETs,
+		"7-SETs":       pcm.Mode7SETs,
+		"static-7":     pcm.Mode7SETs,
+		"7":            pcm.Mode7SETs,
+		"3-SETs-Write": pcm.Mode3SETs,
+		"static-4":     pcm.Mode4SETs,
+		"5":            pcm.Mode5SETs,
+	}
+	for s, want := range good {
+		got, err := ParseWriteMode(s)
+		if err != nil || got != want {
+			t.Errorf("ParseWriteMode(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	for _, s := range []string{"", "2", "8", "rrm", "SETs-7", "7-RESETs-Write"} {
+		if m, err := ParseWriteMode(s); err == nil {
+			t.Errorf("ParseWriteMode(%q) = %v, want error", s, m)
+		}
+	}
+}
+
+func TestMetricsRoundTripKeepsWritesByMode(t *testing.T) {
+	// The whole Metrics struct — the payload the run cache and the HTTP
+	// service persist — must survive a JSON round trip bit-exactly on
+	// the mode counters.
+	m := Metrics{
+		Scheme:       "RRM",
+		Workload:     "GemsFDTD",
+		IPC:          1.25,
+		WritesByMode: ModeWrites{pcm.Mode3SETs: 7, pcm.Mode7SETs: 41},
+	}
+	blob, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), `"3-SETs-Write":7`) {
+		t.Errorf("metrics JSON lacks name-keyed mode counters: %s", blob)
+	}
+	var back Metrics
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.WritesByMode[pcm.Mode3SETs] != 7 || back.WritesByMode[pcm.Mode7SETs] != 41 {
+		t.Errorf("WritesByMode round trip: %v", back.WritesByMode)
+	}
+}

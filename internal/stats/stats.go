@@ -35,6 +35,16 @@ func LifetimeYears(dev pcm.DeviceConfig, wearPerSecond float64) float64 {
 	return WearBudget(dev) / wearPerSecond / SecondsPerYear
 }
 
+// FormatYears renders a lifetime for the report tables: two decimals,
+// with the zero-wear infinite lifetime spelled "inf" instead of
+// fmt's "+Inf".
+func FormatYears(years float64) string {
+	if math.IsInf(years, 1) {
+		return "inf"
+	}
+	return fmt.Sprintf("%.2f", years)
+}
+
 // GlobalRefreshWearRate returns the block-write rate of the device's
 // built-in global refresh: every block rewritten once per retention
 // period of the given mode.
@@ -176,7 +186,11 @@ func (h *IntervalHistogram) Rows() []Row {
 		regions[b]++
 		writes[b] += r.count
 	}
-	regions[BucketNeverWritten] = h.totalRegions - uint64(len(h.recs))
+	// Guard the subtraction: writes beyond the declared memory size
+	// (or a zero-size histogram) would underflow the uint64.
+	if touched := uint64(len(h.recs)); touched < h.totalRegions {
+		regions[BucketNeverWritten] = h.totalRegions - touched
+	}
 
 	rows := make([]Row, 0, numBuckets)
 	for b := IntervalBucket(0); b < numBuckets; b++ {

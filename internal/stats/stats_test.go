@@ -55,6 +55,83 @@ func TestLifetimeYears(t *testing.T) {
 	}
 }
 
+func TestLifetimeYearsNonPositiveWear(t *testing.T) {
+	// Wear rates at or below zero (an idle device, or a subtraction
+	// artifact in a derived rate) mean the budget is never consumed.
+	dev := pcm.DefaultDeviceConfig()
+	for _, rate := range []float64{0, -1, -1e9, math.Inf(-1)} {
+		if got := LifetimeYears(dev, rate); !math.IsInf(got, 1) {
+			t.Errorf("LifetimeYears(%g) = %v, want +Inf", rate, got)
+		}
+	}
+}
+
+func TestFormatYears(t *testing.T) {
+	cases := []struct {
+		years float64
+		want  string
+	}{
+		{math.Inf(1), "inf"},
+		{0, "0.00"},
+		{0.317, "0.32"},
+		{12.5, "12.50"},
+	}
+	for _, c := range cases {
+		if got := FormatYears(c.years); got != c.want {
+			t.Errorf("FormatYears(%v) = %q, want %q", c.years, got, c.want)
+		}
+	}
+	// The infinite case must round-trip through the device helper.
+	if got := FormatYears(LifetimeYears(pcm.DefaultDeviceConfig(), 0)); got != "inf" {
+		t.Errorf("zero-wear lifetime formats as %q", got)
+	}
+}
+
+func TestEmptyIntervalHistogram(t *testing.T) {
+	h := NewIntervalHistogram(1 << 20) // 256 regions, none written
+	rows := h.Rows()
+	if len(rows) != int(numBuckets) {
+		t.Fatalf("%d rows, want %d", len(rows), numBuckets)
+	}
+	for _, r := range rows {
+		switch r.Bucket {
+		case BucketNeverWritten:
+			if r.Regions != 256 || r.RegionPercent != 100 {
+				t.Errorf("never-written row = %+v, want all 256 regions", r)
+			}
+		default:
+			if r.Regions != 0 || r.Writes != 0 || r.WritePercent != 0 {
+				t.Errorf("empty histogram row %v = %+v, want zeros", r.Bucket, r)
+			}
+		}
+	}
+	if s := h.HotShare(0.02); s != 0 {
+		t.Errorf("empty histogram HotShare = %v", s)
+	}
+}
+
+func TestZeroSizeIntervalHistogram(t *testing.T) {
+	// A zero-byte memory must not divide by zero in the percent columns.
+	h := NewIntervalHistogram(0)
+	for _, r := range h.Rows() {
+		if r.RegionPercent != 0 {
+			t.Errorf("row %v RegionPercent = %v, want 0", r.Bucket, r.RegionPercent)
+		}
+	}
+	// Writes into a zero-region histogram still count, percentages stay
+	// finite.
+	h.AddWrite(0, 0)
+	h.AddWrite(0, timing.Second)
+	for _, r := range h.Rows() {
+		if math.IsNaN(r.RegionPercent) || math.IsNaN(r.WritePercent) {
+			t.Errorf("row %v has NaN percent: %+v", r.Bucket, r)
+		}
+		if r.Bucket == BucketNeverWritten && r.Regions != 0 {
+			t.Errorf("never-written count underflowed: %d", r.Regions)
+		}
+	}
+}
+
 func TestGeomean(t *testing.T) {
 	if Geomean(nil) != 0 {
 		t.Error("empty geomean")

@@ -250,3 +250,66 @@ func TestContentTrackingInvariant(t *testing.T) {
 		}
 	}
 }
+
+func TestGapWrapInvariants(t *testing.T) {
+	// Step move-by-move through the gap's wrap from position 0 back to
+	// position n, checking after every single move that translation is
+	// still a bijection and pos/content stay mutually consistent. The
+	// wrap (gap==0 -> src=n) is the one special case in moveGap.
+	const n = 6
+	s, err := NewUnrandomized(n, 1) // psi=1: every write moves the gap
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(step int) {
+		t.Helper()
+		seen := make(map[uint64]bool, n)
+		for l := uint64(0); l < n; l++ {
+			p := s.Translate(l)
+			if p > n {
+				t.Fatalf("step %d: line %d at impossible position %d", step, l, p)
+			}
+			if seen[p] {
+				t.Fatalf("step %d: two lines share position %d", step, p)
+			}
+			seen[p] = true
+			if s.content[p] != int64(l) {
+				t.Fatalf("step %d: content[%d]=%d, want %d", step, p, s.content[p], l)
+			}
+		}
+		if seen[s.gap] {
+			t.Fatalf("step %d: a line sits on the gap position %d", step, s.gap)
+		}
+		if s.content[s.gap] != -1 {
+			t.Fatalf("step %d: gap position %d holds line %d", step, s.gap, s.content[s.gap])
+		}
+	}
+	check(0)
+	// Two full rotations: the gap walks n..0, wraps to n, and repeats.
+	wraps := 0
+	for i := 1; i <= 2*(n+1); i++ {
+		before := s.gap
+		s.Write(uint64(i) % n)
+		check(i)
+		if before == 0 {
+			if s.gap != n {
+				t.Fatalf("step %d: gap at 0 moved to %d, want wrap to %d", i, s.gap, n)
+			}
+			wraps++
+		} else if s.gap != before-1 {
+			t.Fatalf("step %d: gap moved %d -> %d, want %d", i, before, s.gap, before-1)
+		}
+	}
+	if wraps != 2 {
+		t.Fatalf("saw %d wraps in two full rotations, want 2", wraps)
+	}
+	// Each gap move cost exactly one extra physical write.
+	writes, moves, _ := s.Stats()
+	var phys uint64
+	for _, w := range s.lineWrites {
+		phys += w
+	}
+	if phys != writes+moves {
+		t.Fatalf("physical writes %d != demand %d + moves %d", phys, writes, moves)
+	}
+}

@@ -1,0 +1,102 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end smoke test of the HTTP simulation service.
+#
+# Builds rrmserve, boots it on a scratch port, submits one quick job,
+# follows it to completion, and asserts the result endpoint returns 200
+# with plausible metrics. Exits non-zero on any failure. Needs curl;
+# uses no other tooling so it runs in a bare CI container.
+set -eu
+
+ADDR="${RRMSERVE_ADDR:-127.0.0.1:18321}"
+BASE="http://$ADDR"
+TMP="$(mktemp -d)"
+SRV_PID=""
+
+cleanup() {
+    [ -n "$SRV_PID" ] && kill "$SRV_PID" 2>/dev/null || true
+    [ -n "$SRV_PID" ] && wait "$SRV_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+echo "== building rrmserve"
+go build -o "$TMP/rrmserve" ./cmd/rrmserve
+
+echo "== starting rrmserve on $ADDR"
+"$TMP/rrmserve" -addr "$ADDR" -cache-dir "$TMP/cache" >"$TMP/server.log" 2>&1 &
+SRV_PID=$!
+
+# Wait for readiness (the binary starts in milliseconds, but don't race it).
+i=0
+until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "server never became healthy" >&2
+        cat "$TMP/server.log" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+echo "== submitting quick job"
+CODE=$(curl -sS -o "$TMP/submit.json" -w '%{http_code}' \
+    -H 'Content-Type: application/json' \
+    -d '{"scheme":"static-7","workload":"GemsFDTD","quick":true}' \
+    "$BASE/api/v1/jobs")
+case "$CODE" in
+    200 | 202) ;;
+    *)
+        echo "submit returned HTTP $CODE:" >&2
+        cat "$TMP/submit.json" >&2
+        exit 1
+        ;;
+esac
+ID=$(sed -n 's/.*"id": *"\([0-9a-f]*\)".*/\1/p' "$TMP/submit.json" | head -n 1)
+if [ -z "$ID" ]; then
+    echo "no job id in submit response: $(cat "$TMP/submit.json")" >&2
+    exit 1
+fi
+echo "   job $ID (HTTP $CODE)"
+
+echo "== waiting for completion"
+i=0
+while :; do
+    CODE=$(curl -sS -o "$TMP/result.json" -w '%{http_code}' \
+        "$BASE/api/v1/jobs/$ID/result")
+    [ "$CODE" = 200 ] && break
+    if [ "$CODE" != 202 ]; then
+        echo "result returned HTTP $CODE:" >&2
+        cat "$TMP/result.json" >&2
+        exit 1
+    fi
+    i=$((i + 1))
+    if [ "$i" -ge 300 ]; then
+        echo "job did not finish within 60s" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+grep -q '"metrics"' "$TMP/result.json" || {
+    echo "result has no metrics: $(cat "$TMP/result.json")" >&2
+    exit 1
+}
+
+echo "== checking progress stream replay"
+curl -sS --max-time 10 "$BASE/api/v1/jobs/$ID/events?format=ndjson" >"$TMP/events.ndjson"
+for state in queued running done; do
+    grep -q "\"state\":\"$state\"" "$TMP/events.ndjson" || {
+        echo "event stream missing state $state:" >&2
+        cat "$TMP/events.ndjson" >&2
+        exit 1
+    }
+done
+
+echo "== checking metrics endpoint"
+curl -fsS "$BASE/metrics" | grep -q '^rrmserve_jobs_done_total 1$' || {
+    echo "metrics endpoint did not count the job" >&2
+    curl -fsS "$BASE/metrics" >&2 || true
+    exit 1
+}
+
+echo "== smoke test passed (job $ID)"
