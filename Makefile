@@ -7,6 +7,10 @@
 #          drives (engine, experiments, the HTTP service, and the
 #          sim/trace paths its workers execute concurrently)
 #   bench  paper-artifact benchmarks (quick windows)
+#   bench-json
+#          hot-path component benchmarks -> BENCH_3.json (ns/op, B/op,
+#          allocs/op per benchmark, diffed against the recorded
+#          pre-optimization baseline)
 #   ci     build + vet + test + race
 #
 # serve-smoke boots rrmserve on a scratch port, pushes one quick job
@@ -15,7 +19,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench ci serve-smoke
+.PHONY: build vet test race bench bench-json ci serve-smoke
 
 build:
 	$(GO) build ./...
@@ -31,6 +35,9 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
+
+bench-json:
+	GO="$(GO)" ./scripts/bench_json.sh BENCH_3.json
 
 serve-smoke:
 	./scripts/serve_smoke.sh

@@ -104,6 +104,43 @@ type Core struct {
 	throttled     bool
 	stopAt        timing.Time
 	stepArmed     bool
+
+	stepFn  func(timing.Time) // bound once: step (avoids a closure per arm)
+	tokFree []*missToken      // recycled miss-completion tokens
+}
+
+// missToken carries one outstanding miss's completion context. Tokens
+// are pooled per core with a once-bound callback, so steady-state misses
+// allocate no closures.
+type missToken struct {
+	c       *Core
+	store   bool
+	instNum uint64
+	fn      func(timing.Time)
+}
+
+// acquireToken returns a miss token bound to this core.
+func (c *Core) acquireToken(store bool, instNum uint64) *missToken {
+	var tok *missToken
+	if n := len(c.tokFree); n > 0 {
+		tok = c.tokFree[n-1]
+		c.tokFree[n-1] = nil
+		c.tokFree = c.tokFree[:n-1]
+	} else {
+		tok = &missToken{c: c}
+		tok.fn = func(t timing.Time) {
+			store, instNum := tok.store, tok.instNum
+			tok.c.tokFree = append(tok.c.tokFree, tok)
+			tok.c.memDone(store, instNum, t)
+		}
+	}
+	tok.store, tok.instNum = store, instNum
+	return tok
+}
+
+// releaseToken returns an unused token (the access hit on-chip).
+func (c *Core) releaseToken(tok *missToken) {
+	c.tokFree = append(c.tokFree, tok)
 }
 
 // New builds a core running gen against be, self-scheduling on eq.
@@ -118,7 +155,7 @@ func New(cfg Config, gen *trace.Mixture, be Backend, eq *timing.EventQueue) (*Co
 	if m := gen.MaxMLP(); m > 0 && m < mlp {
 		mlp = m
 	}
-	return &Core{
+	c := &Core{
 		cfg:        cfg,
 		gen:        gen,
 		be:         be,
@@ -126,7 +163,9 @@ func New(cfg Config, gen *trace.Mixture, be Backend, eq *timing.EventQueue) (*Co
 		maxMLP:     mlp,
 		cpiPerInst: timing.Time(gen.BaseCPI() * float64(timing.CPUCycle)),
 		stopAt:     timing.Forever,
-	}, nil
+	}
+	c.stepFn = c.step
+	return c, nil
 }
 
 // Stats returns a snapshot of the core's counters.
@@ -172,7 +211,7 @@ func (c *Core) armStep(at timing.Time) {
 		return
 	}
 	c.stepArmed = true
-	c.eq.Schedule(timing.Max(at, c.eq.Now()), c.step)
+	c.eq.Schedule(timing.Max(at, c.eq.Now()), c.stepFn)
 }
 
 // blocked reports whether the core cannot issue and must wait for a
@@ -225,9 +264,8 @@ func (c *Core) step(now timing.Time) {
 
 		instNum := c.stats.Instructions
 		store := op.Store
-		reply := c.be.Access(c.cfg.ID, op.Addr, store, c.localTime, func(t timing.Time) {
-			c.memDone(store, instNum, t)
-		})
+		tok := c.acquireToken(store, instNum)
+		reply := c.be.Access(c.cfg.ID, op.Addr, store, c.localTime, tok.fn)
 		c.localTime += reply.Stall
 		if reply.Pending {
 			if store {
@@ -237,6 +275,10 @@ func (c *Core) step(now timing.Time) {
 				c.stats.LoadMisses++
 				c.loadMissInsts = append(c.loadMissInsts, instNum)
 			}
+		} else {
+			// The access completed on-chip; the callback will never
+			// fire, so the token can be reused immediately.
+			c.releaseToken(tok)
 		}
 		if reply.Throttle {
 			c.throttled = true

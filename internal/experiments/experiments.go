@@ -58,7 +58,7 @@ func ByID(id string) (Experiment, error) {
 // Table1 regenerates Table I from the drift model and diffs it against
 // the embedded device data.
 func Table1() (string, error) {
-	model := pcm.DefaultDriftModel()
+	model := pcm.DefaultDriftTable().Model()
 	derived, err := model.DeriveModeTable()
 	if err != nil {
 		return "", err

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"testing"
+
+	"rrmpcm/internal/sim"
+)
+
+// FuzzParseScheme fuzzes the scheme-name parser shared by the CLI and
+// the HTTP service: no input may panic, and any accepted input must
+// yield a well-formed scheme (a valid static mode or the RRM policy)
+// whose canonical spelling parses back to the same scheme.
+func FuzzParseScheme(f *testing.F) {
+	for _, name := range SchemeNames() {
+		f.Add(name)
+	}
+	f.Add("static-8")
+	f.Add("static-")
+	f.Add("static--3")
+	f.Add("static-03")
+	f.Add("RRM")
+	f.Add("")
+	f.Add("rrm ")
+	f.Fuzz(func(t *testing.T, name string) {
+		s, err := ParseScheme(name)
+		if err != nil {
+			return // rejected input: fine, as long as it didn't panic
+		}
+		switch s.Kind {
+		case sim.SchemeStatic:
+			if !s.StaticMode.Valid() {
+				t.Fatalf("ParseScheme(%q) accepted invalid static mode %d", name, s.StaticMode)
+			}
+		case sim.SchemeRRM:
+			if err := s.RRM.Validate(); err != nil {
+				t.Fatalf("ParseScheme(%q) returned invalid RRM config: %v", name, err)
+			}
+		default:
+			t.Fatalf("ParseScheme(%q) returned unexpected kind %d", name, s.Kind)
+		}
+	})
+}

@@ -1,0 +1,79 @@
+//go:build !race
+
+package memctrl
+
+import (
+	"testing"
+
+	"rrmpcm/internal/pcm"
+	"rrmpcm/internal/timing"
+)
+
+// TestControllerTickSteadyStateAllocs pins the controller hot path —
+// pooled request acquisition, enqueue bookkeeping, FR-FCFS selection,
+// event dispatch, write pausing state, completion and release — at a
+// near-zero steady-state allocation budget. The only tolerated residue is
+// the read-forwarding block map occasionally growing a bucket chain.
+// (Skipped under -race: the detector's instrumentation allocates.)
+func TestControllerTickSteadyStateAllocs(t *testing.T) {
+	amap, err := pcm.NewAddressMap(pcm.DefaultDeviceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq := timing.NewEventQueue()
+	ctl, err := New(DefaultConfig(), amap, eq, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	state := uint64(1)
+	next := func() uint64 { // xorshift64: deterministic address stream
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state
+	}
+	pending := 0
+	onDone := func(timing.Time) { pending-- }
+	issue := func(i int) {
+		req := ctl.AcquireRequest()
+		req.Addr = next() % (8 << 30)
+		req.OnDone = onDone
+		if i%3 == 0 {
+			req.Kind, req.Mode, req.Wear = WriteReq, pcm.Mode7SETs, pcm.WearDemandWrite
+		} else {
+			req.Kind = ReadReq
+		}
+		for pending > 64 {
+			eq.Step()
+		}
+		if ctl.TryEnqueue(req) {
+			pending++
+		} else {
+			eq.Step()
+		}
+	}
+
+	// Warm: grow the request/write/event pools, the queue backing arrays
+	// and the forwarding map to their steady-state footprint.
+	for i := 0; i < 50_000; i++ {
+		issue(i)
+	}
+
+	const opsPerRun = 1000
+	avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < opsPerRun; i++ {
+			issue(i)
+		}
+	})
+	// Budget: < 1 allocation per 100 operations on average.
+	if avg > opsPerRun/100 {
+		t.Errorf("controller tick path allocates %.2f per %d ops, want < %d", avg, opsPerRun, opsPerRun/100)
+	}
+
+	for eq.Step() {
+	}
+	if pending != 0 {
+		t.Errorf("%d requests never completed", pending)
+	}
+}

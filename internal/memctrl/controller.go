@@ -15,6 +15,11 @@ type Controller struct {
 	rec   Recorder
 	chans []*channel
 	stats Stats
+
+	// reqFree recycles pooled requests (see AcquireRequest). The pool
+	// is per-controller and LIFO, so reuse order — like everything else
+	// in the simulator — is deterministic.
+	reqFree []*Request
 }
 
 // New builds a controller over the mapped device, driven by eq. rec may
@@ -30,10 +35,18 @@ func New(cfg Config, amap *pcm.AddressMap, eq *timing.EventQueue, rec Recorder) 
 	dev := amap.Config()
 	for i := 0; i < dev.Channels; i++ {
 		ch := &channel{ctl: c, id: i, banks: make([]bankState, dev.Banks)}
+		ch.queues[ReadReq] = make([]*Request, 0, cfg.ReadQueueCap)
+		ch.queues[WriteReq] = make([]*Request, 0, cfg.WriteQueueCap)
+		ch.queues[RefreshReq] = make([]*Request, 0, cfg.RefreshQueueCap)
+		ch.readsPerBank = make([]int32, dev.Banks)
+		if cfg.ReadForwarding {
+			ch.blockWrites = make(map[uint64]int32, cfg.WriteQueueCap+cfg.RefreshQueueCap)
+		}
 		ch.actTimes = make([]timing.Time, cfg.FAWLimit)
 		for j := range ch.actTimes {
 			ch.actTimes[j] = -timing.Forever
 		}
+		ch.wakeupFn = ch.wakeup
 		c.chans = append(c.chans, ch)
 	}
 	return c, nil
@@ -51,6 +64,54 @@ func (c *Controller) ChannelOf(addr uint64) int { return c.amap.Decode(addr).Cha
 // QueueLen returns the current depth of a queue, for tests and metrics.
 func (c *Controller) QueueLen(channel int, kind RequestKind) int {
 	return len(c.chans[channel].queues[kind])
+}
+
+// AcquireRequest returns a zeroed request from the controller's pool.
+// Pooled requests are recycled automatically when their transaction
+// completes (after OnDone has fired), so the caller must not retain the
+// pointer past that point. Requests built with plain &Request{} remain
+// fully supported and are never recycled.
+func (c *Controller) AcquireRequest() *Request {
+	var r *Request
+	if n := len(c.reqFree); n > 0 {
+		r = c.reqFree[n-1]
+		c.reqFree[n-1] = nil
+		c.reqFree = c.reqFree[:n-1]
+	} else {
+		r = &Request{ctl: c, pooled: true}
+		// Bind the read-completion callback once per pooled object; it
+		// is reused across the request's whole recycled lifetime, so
+		// steady-state reads schedule no new closures.
+		r.doneFn = func(t timing.Time) { r.finishRead(t) }
+	}
+	r.Kind, r.Addr, r.Mode, r.Wear, r.OnDone = 0, 0, 0, 0, nil
+	r.forwarded = false
+	return r
+}
+
+// release returns a pooled request to the free list.
+func (c *Controller) release(r *Request) {
+	if !r.pooled {
+		return
+	}
+	r.OnDone = nil
+	c.reqFree = append(c.reqFree, r)
+}
+
+// finishRead completes a (possibly forwarded) read transaction carried
+// by a pooled request.
+func (r *Request) finishRead(t timing.Time) {
+	c := r.ctl
+	ch := c.chans[r.loc.Channel]
+	forwarded := r.forwarded
+	c.rec.RecordRead(r.Addr)
+	if r.OnDone != nil {
+		r.OnDone(t)
+	}
+	c.release(r)
+	if !forwarded {
+		ch.kick(t)
+	}
 }
 
 // Pending reports whether any queue holds requests or any bank is mid
@@ -90,6 +151,11 @@ func (c *Controller) TryEnqueue(req *Request) bool {
 		if lat > c.stats.ReadLatencyMax {
 			c.stats.ReadLatencyMax = lat
 		}
+		if req.pooled {
+			req.forwarded = true
+			c.eq.Schedule(now+lat, req.doneFn)
+			return true
+		}
 		done := req.OnDone
 		addr := req.Addr
 		c.eq.Schedule(now+lat, func(t timing.Time) {
@@ -107,6 +173,17 @@ func (c *Controller) TryEnqueue(req *Request) bool {
 		return false
 	}
 	req.enqueuedAt = now
+	switch req.Kind {
+	case ReadReq:
+		// Cache the row-buffer tag once: FR-FCFS re-reads it on every
+		// scheduling scan.
+		req.rowTag = c.amap.RowBufferTag(req.Addr)
+		ch.readsPerBank[req.loc.Bank]++
+	default:
+		if ch.blockWrites != nil {
+			ch.blockWrites[req.Addr&^63]++
+		}
+	}
 	ch.queues[req.Kind] = append(ch.queues[req.Kind], req)
 	c.noteOccupancy(ch)
 	ch.kick(now)
@@ -154,7 +231,9 @@ type bankState struct {
 
 // inflightWrite tracks a write pulse that may be paused at SET-iteration
 // boundaries. A fresh run starts with the RESET phase; resumed runs are
-// pure SET iterations.
+// pure SET iterations. Inflight writes are pooled per channel; the
+// completion and pause callbacks are bound once per object and survive
+// recycling.
 type inflightWrite struct {
 	req          *Request
 	bank         int
@@ -163,7 +242,11 @@ type inflightWrite struct {
 	setsLeft     int // SET iterations outstanding at runStart
 	paused       bool
 	pausePending bool
-	completion   *timing.Event
+	zombie       bool // completed with a pause event still in flight
+	completion   timing.EventRef
+
+	completeFn func(t timing.Time)
+	pauseFn    func(t timing.Time)
 }
 
 // completionTime returns when the current run would finish unpaused.
@@ -212,27 +295,31 @@ type channel struct {
 	queues [numKinds][]*Request
 	banks  []bankState
 
+	// readsPerBank counts queued reads per bank, so resume decisions
+	// (readWaitingFor) are O(1) instead of a read-queue scan.
+	readsPerBank []int32
+
+	// blockWrites counts queued writes+refreshes per 64 B block (only
+	// when ReadForwarding is enabled), so forwarding lookups are O(1)
+	// instead of scanning both queues per read.
+	blockWrites map[uint64]int32
+
 	busFreeAt timing.Time
 	actTimes  []timing.Time // ring buffer of recent activations
 	actIdx    int
 
+	wrFree []*inflightWrite // recycled inflight writes
+
 	spaceWaiters [numKinds][]func(now timing.Time)
 	wakeupAt     timing.Time
-	wakeupEv     *timing.Event
+	wakeupEv     timing.EventRef
+	wakeupFn     func(now timing.Time) // bound once: wakeup
 	draining     bool
 }
 
 // forwards reports whether a queued write or refresh covers block addr.
 func (ch *channel) forwards(addr uint64) bool {
-	blk := addr &^ 63
-	for _, kind := range []RequestKind{WriteReq, RefreshReq} {
-		for _, r := range ch.queues[kind] {
-			if r.Addr&^63 == blk {
-				return true
-			}
-		}
-	}
-	return false
+	return ch.blockWrites[addr&^63] > 0
 }
 
 // kick starts every transaction that can begin now, then arms a wakeup
@@ -321,7 +408,7 @@ func (ch *channel) tryResume(now timing.Time, respectReads bool) bool {
 	for i := range ch.banks {
 		b := &ch.banks[i]
 		if b.wr != nil && b.wr.paused && b.freeAt <= now &&
-			(!respectReads || !ch.readWaitingFor(i)) {
+			(!respectReads || ch.readsPerBank[i] == 0) {
 			ch.resumeWrite(b.wr, now)
 			return true
 		}
@@ -341,30 +428,26 @@ func (ch *channel) tryWrite(now timing.Time) bool {
 	return false
 }
 
-// readWaitingFor reports whether any queued read targets bank.
-func (ch *channel) readWaitingFor(bank int) bool {
-	for _, r := range ch.queues[ReadReq] {
-		if r.loc.Bank == bank {
-			return true
-		}
-	}
-	return false
-}
-
 // pickRead selects the next read per FR-FCFS: the oldest row-buffer hit
 // on a serviceable bank, else the oldest read on a serviceable bank.
 // Row misses additionally require a tFAW activation slot.
 func (ch *channel) pickRead(now timing.Time) int {
+	q := ch.queues[ReadReq]
+	if len(q) == 0 {
+		return -1
+	}
+	// The tFAW admission check is loop-invariant; hoist it.
+	actOK := ch.actAllowedAt(now) <= now
 	oldest := -1
-	for i, r := range ch.queues[ReadReq] {
+	for i, r := range q {
 		b := &ch.banks[r.loc.Bank]
 		if !ch.bankFreeForRead(b, now) {
 			continue
 		}
-		if b.hasOpen && b.openTag == ch.ctl.amap.RowBufferTag(r.Addr) {
+		if b.hasOpen && b.openTag == r.rowTag {
 			return i // row-buffer hit wins immediately (queue is FIFO-ordered)
 		}
-		if oldest < 0 && ch.actAllowedAt(now) <= now {
+		if oldest < 0 && actOK {
 			oldest = i
 		}
 	}
@@ -386,9 +469,24 @@ func (ch *channel) recordACT(t timing.Time) {
 	ch.actIdx = (ch.actIdx + 1) % len(ch.actTimes)
 }
 
-// dequeue removes index i of the given queue and wakes space waiters.
+// dequeue removes index i of the given queue, maintains the per-bank and
+// per-block indexes, and wakes space waiters.
 func (ch *channel) dequeue(kind RequestKind, i int, now timing.Time) {
 	q := ch.queues[kind]
+	r := q[i]
+	switch kind {
+	case ReadReq:
+		ch.readsPerBank[r.loc.Bank]--
+	default:
+		if ch.blockWrites != nil {
+			blk := r.Addr &^ 63
+			if n := ch.blockWrites[blk] - 1; n > 0 {
+				ch.blockWrites[blk] = n
+			} else {
+				delete(ch.blockWrites, blk)
+			}
+		}
+	}
 	copy(q[i:], q[i+1:])
 	q[len(q)-1] = nil
 	ch.queues[kind] = q[:len(q)-1]
@@ -409,16 +507,15 @@ func (ch *channel) dequeue(kind RequestKind, i int, now timing.Time) {
 func (ch *channel) startRead(r *Request, now timing.Time) {
 	cfg := &ch.ctl.cfg
 	b := &ch.banks[r.loc.Bank]
-	tag := ch.ctl.amap.RowBufferTag(r.Addr)
 
 	dataAt := now
-	if b.hasOpen && b.openTag == tag {
+	if b.hasOpen && b.openTag == r.rowTag {
 		ch.ctl.stats.RowBufHits++
 	} else {
 		ch.ctl.stats.RowBufMisses++
 		ch.recordACT(now)
 		dataAt += cfg.TRCD
-		b.openTag = tag
+		b.openTag = r.rowTag
 		b.hasOpen = true
 	}
 	dataAt += cfg.TCAS
@@ -434,6 +531,10 @@ func (ch *channel) startRead(r *Request, now timing.Time) {
 	if lat > ch.ctl.stats.ReadLatencyMax {
 		ch.ctl.stats.ReadLatencyMax = lat
 	}
+	if r.pooled {
+		ch.ctl.eq.Schedule(done, r.doneFn)
+		return
+	}
 	ch.ctl.eq.Schedule(done, func(t timing.Time) {
 		ch.ctl.rec.RecordRead(r.Addr)
 		if r.OnDone != nil {
@@ -441,6 +542,29 @@ func (ch *channel) startRead(r *Request, now timing.Time) {
 		}
 		ch.kick(t)
 	})
+}
+
+// acquireWrite returns an inflight-write tracker from the channel pool.
+func (ch *channel) acquireWrite() *inflightWrite {
+	if n := len(ch.wrFree); n > 0 {
+		wr := ch.wrFree[n-1]
+		ch.wrFree[n-1] = nil
+		ch.wrFree = ch.wrFree[:n-1]
+		return wr
+	}
+	wr := &inflightWrite{}
+	wr.completeFn = func(t timing.Time) { ch.completeWrite(wr, t) }
+	wr.pauseFn = func(t timing.Time) { ch.pauseAt(wr, t) }
+	return wr
+}
+
+// releaseWrite resets and recycles an inflight-write tracker.
+func (ch *channel) releaseWrite(wr *inflightWrite) {
+	wr.req = nil
+	wr.paused, wr.pausePending, wr.zombie, wr.runHasReset = false, false, false, false
+	wr.setsLeft = 0
+	wr.completion = timing.EventRef{}
+	ch.wrFree = append(ch.wrFree, wr)
 }
 
 // startWrite begins a demand write or refresh pulse (write-through: the
@@ -453,20 +577,17 @@ func (ch *channel) startWrite(r *Request, now timing.Time) {
 	pulseStart := xferStart + cfg.BusXfer
 	ch.busFreeAt = pulseStart
 
-	wr := &inflightWrite{
-		req:         r,
-		bank:        r.loc.Bank,
-		runStart:    pulseStart,
-		runHasReset: true,
-		setsLeft:    r.Mode.Sets(),
-	}
+	wr := ch.acquireWrite()
+	wr.req = r
+	wr.bank = r.loc.Bank
+	wr.runStart = pulseStart
+	wr.runHasReset = true
+	wr.setsLeft = r.Mode.Sets()
 	b.wr = wr
 	done := wr.completionTime()
 	b.freeAt = done
 	ch.ctl.stats.BankBusy += done - now
-	wr.completion = ch.ctl.eq.Schedule(done, func(t timing.Time) {
-		ch.completeWrite(wr, t)
-	})
+	wr.completion = ch.ctl.eq.Schedule(done, wr.completeFn)
 }
 
 // resumeWrite restarts a paused write's remaining SET iterations.
@@ -478,9 +599,7 @@ func (ch *channel) resumeWrite(wr *inflightWrite, now timing.Time) {
 	done := wr.completionTime()
 	b.freeAt = done
 	ch.ctl.stats.BankBusy += done - now
-	wr.completion = ch.ctl.eq.Schedule(done, func(t timing.Time) {
-		ch.completeWrite(wr, t)
-	})
+	wr.completion = ch.ctl.eq.Schedule(done, wr.completeFn)
 }
 
 // requestPause arranges for wr to pause at its next iteration boundary.
@@ -490,22 +609,27 @@ func (ch *channel) requestPause(wr *inflightWrite, now timing.Time) {
 		return
 	}
 	wr.pausePending = true
-	ch.ctl.eq.Schedule(boundary, func(t timing.Time) {
-		ch.pauseAt(wr, t)
-	})
+	ch.ctl.eq.Schedule(boundary, wr.pauseFn)
 }
 
 // pauseAt suspends wr at boundary time t (if it is still running).
 func (ch *channel) pauseAt(wr *inflightWrite, t timing.Time) {
 	wr.pausePending = false
-	if wr.paused || wr.completion == nil {
+	if wr.zombie {
+		// The write completed at this same instant (completion events
+		// sort before the later-scheduled pause); recycle the tracker
+		// now that the pause callback has drained.
+		ch.releaseWrite(wr)
+		return
+	}
+	if wr.paused || !wr.completion.Valid() {
 		return // completed or already paused in the meantime
 	}
 	if wr.completionTime() <= t {
 		return // completion event at this same instant will handle it
 	}
 	ch.ctl.eq.Cancel(wr.completion)
-	wr.completion = nil
+	wr.completion = timing.EventRef{}
 	wr.setsLeft -= wr.setsDoneBy(t)
 	wr.runHasReset = false
 	wr.paused = true
@@ -517,7 +641,7 @@ func (ch *channel) pauseAt(wr *inflightWrite, t timing.Time) {
 
 // completeWrite finishes a write or refresh pulse.
 func (ch *channel) completeWrite(wr *inflightWrite, t timing.Time) {
-	wr.completion = nil
+	wr.completion = timing.EventRef{}
 	b := &ch.banks[wr.bank]
 	b.wr = nil
 	r := wr.req
@@ -535,10 +659,24 @@ func (ch *channel) completeWrite(wr *inflightWrite, t timing.Time) {
 			ch.ctl.stats.WriteLatencyMax = lat
 		}
 	}
+	if wr.pausePending {
+		// A pause callback for this same instant is still queued; the
+		// tracker is recycled there, never while a callback can see it.
+		wr.zombie = true
+	} else {
+		ch.releaseWrite(wr)
+	}
 	ch.ctl.rec.RecordWrite(r.Addr, r.Mode, r.Wear)
 	if r.OnDone != nil {
 		r.OnDone(t)
 	}
+	ch.ctl.release(r)
+	ch.kick(t)
+}
+
+// wakeup is the (once-bound) wakeup event body.
+func (ch *channel) wakeup(t timing.Time) {
+	ch.wakeupEv = timing.EventRef{}
 	ch.kick(t)
 }
 
@@ -578,7 +716,7 @@ func (ch *channel) armWakeup(now timing.Time) {
 	if at == timing.Forever {
 		return // everything is free; nothing further will unblock by time alone
 	}
-	if ch.wakeupEv != nil {
+	if ch.wakeupEv.Valid() {
 		if ch.wakeupAt <= at {
 			return // an earlier or equal wakeup is already armed
 		}
@@ -587,8 +725,5 @@ func (ch *channel) armWakeup(now timing.Time) {
 		ch.ctl.eq.Cancel(ch.wakeupEv)
 	}
 	ch.wakeupAt = at
-	ch.wakeupEv = ch.ctl.eq.Schedule(at, func(t timing.Time) {
-		ch.wakeupEv = nil
-		ch.kick(t)
-	})
+	ch.wakeupEv = ch.ctl.eq.Schedule(at, ch.wakeupFn)
 }

@@ -64,6 +64,15 @@ type Request struct {
 
 	enqueuedAt timing.Time
 	loc        pcm.Location
+	rowTag     uint64 // row-buffer tag, cached at enqueue (reads)
+
+	// Pool bookkeeping (requests from Controller.AcquireRequest): the
+	// owning controller, a once-bound read-completion callback, and
+	// whether the current read is being served from the write queue.
+	ctl       *Controller
+	doneFn    func(now timing.Time)
+	pooled    bool
+	forwarded bool
 }
 
 // Recorder receives completed-transaction notifications for wear and

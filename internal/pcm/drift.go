@@ -3,6 +3,7 @@ package pcm
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"rrmpcm/internal/timing"
 )
@@ -100,6 +101,87 @@ func (m DriftModel) Expired(sets int, t timing.Time) bool {
 		return true
 	}
 	return m.DriftedShift(t) > g
+}
+
+// DriftTable is the memoized form of a DriftModel: the guardband and
+// retention of every write mode evaluated once, so hot loops (retention
+// checkers, refresh policies, mode-table sweeps) ask drift questions
+// with array lookups and integer compares instead of re-running
+// math.Pow/math.Log10 per call. Values are identical to the model's —
+// they are produced by the same methods, just hoisted out of the loop.
+type DriftTable struct {
+	model     DriftModel
+	guardband [5]float64
+	retention [5]timing.Time
+}
+
+// Table memoizes the model into a DriftTable.
+func (m DriftModel) Table() (DriftTable, error) {
+	t := DriftTable{model: m}
+	for i, mode := range Modes() {
+		g, err := m.Guardband(mode.Sets())
+		if err != nil {
+			return DriftTable{}, err
+		}
+		ret, err := m.Retention(mode.Sets())
+		if err != nil {
+			return DriftTable{}, err
+		}
+		t.guardband[i] = g
+		t.retention[i] = ret
+	}
+	return t, nil
+}
+
+// Model returns the model the table was built from.
+func (t DriftTable) Model() DriftModel { return t.model }
+
+// Guardband returns the memoized effective guardband for a SET count.
+func (t DriftTable) Guardband(sets int) (float64, error) {
+	if sets < Fastest.Sets() || sets > Slowest.Sets() {
+		return 0, fmt.Errorf("pcm: drift table has no entry for %d SET iterations", sets)
+	}
+	return t.guardband[sets-Fastest.Sets()], nil
+}
+
+// Retention returns the memoized drift-limited retention for a SET count.
+func (t DriftTable) Retention(sets int) (timing.Time, error) {
+	if sets < Fastest.Sets() || sets > Slowest.Sets() {
+		return 0, fmt.Errorf("pcm: drift table has no entry for %d SET iterations", sets)
+	}
+	return t.retention[sets-Fastest.Sets()], nil
+}
+
+// Expired reports whether data written with the given SET count has
+// drifted out of its guardband after elapsed time t. Unlike the model's
+// method this is a single integer comparison against the memoized
+// retention deadline (the drift law is monotone in t, so "shift exceeds
+// guardband" and "t exceeds retention" are the same predicate).
+func (t DriftTable) Expired(sets int, elapsed timing.Time) bool {
+	if sets < Fastest.Sets() || sets > Slowest.Sets() {
+		return true
+	}
+	return elapsed > t.retention[sets-Fastest.Sets()]
+}
+
+var (
+	defaultTableOnce sync.Once
+	defaultTable     DriftTable
+)
+
+// DefaultDriftTable returns the memoized default drift model. The table
+// is computed once per process; callers on the simulation hot path
+// should prefer it over re-deriving DefaultDriftModel per decision.
+func DefaultDriftTable() DriftTable {
+	defaultTableOnce.Do(func() {
+		t, err := DefaultDriftModel().Table()
+		if err != nil {
+			// DefaultDriftModel covers every mode by construction.
+			panic(fmt.Sprintf("pcm: default drift table: %v", err))
+		}
+		defaultTable = t
+	})
+	return defaultTable
 }
 
 // DeriveModeTable regenerates Table I from first principles: latency from

@@ -1,0 +1,131 @@
+package pcm
+
+import (
+	"testing"
+
+	"rrmpcm/internal/timing"
+)
+
+// TestDriftTableMatchesModel checks that memoization changes nothing: every
+// table entry equals the value the model computes on the fly.
+func TestDriftTableMatchesModel(t *testing.T) {
+	m := DefaultDriftModel()
+	tab, err := m.Table()
+	if err != nil {
+		t.Fatalf("Table: %v", err)
+	}
+	if tab.Model() != m {
+		t.Errorf("Model() = %+v, want %+v", tab.Model(), m)
+	}
+	for _, mode := range Modes() {
+		sets := mode.Sets()
+		wantG, err := m.Guardband(sets)
+		if err != nil {
+			t.Fatalf("model Guardband(%d): %v", sets, err)
+		}
+		gotG, err := tab.Guardband(sets)
+		if err != nil {
+			t.Fatalf("table Guardband(%d): %v", sets, err)
+		}
+		if gotG != wantG {
+			t.Errorf("Guardband(%d) = %v, want %v", sets, gotG, wantG)
+		}
+		wantR, err := m.Retention(sets)
+		if err != nil {
+			t.Fatalf("model Retention(%d): %v", sets, err)
+		}
+		gotR, err := tab.Retention(sets)
+		if err != nil {
+			t.Fatalf("table Retention(%d): %v", sets, err)
+		}
+		if gotR != wantR {
+			t.Errorf("Retention(%d) = %v, want %v", sets, gotR, wantR)
+		}
+	}
+}
+
+// TestDriftTableExpired checks the integer-compare Expired agrees with the
+// drift law away from the float-rounding boundary, and that out-of-range
+// SET counts fail safe (expired).
+func TestDriftTableExpired(t *testing.T) {
+	tab := DefaultDriftTable()
+	m := tab.Model()
+	for _, mode := range Modes() {
+		sets := mode.Sets()
+		ret, err := tab.Retention(sets)
+		if err != nil {
+			t.Fatalf("Retention(%d): %v", sets, err)
+		}
+		for _, tc := range []struct {
+			at   timing.Time
+			want bool
+		}{
+			{0, false},
+			{ret / 2, false},
+			{ret, false},
+			{ret + ret/100, true},
+			{2 * ret, true},
+		} {
+			if got := tab.Expired(sets, tc.at); got != tc.want {
+				t.Errorf("%v: table Expired(%d, %v) = %v, want %v", mode, sets, tc.at, got, tc.want)
+			}
+		}
+		// Spot-check agreement with the un-memoized law at points safely
+		// off the deadline (truncating float->int64 can move the exact
+		// boundary by a few picoseconds, which no simulation observes).
+		for _, at := range []timing.Time{ret / 4, ret / 2, 2 * ret, 10 * ret} {
+			if tab.Expired(sets, at) != m.Expired(sets, at) {
+				t.Errorf("%v: table and model disagree at t=%v", mode, at)
+			}
+		}
+	}
+	if !tab.Expired(2, timing.Second) || !tab.Expired(99, timing.Second) {
+		t.Error("out-of-range SET counts must report expired")
+	}
+	if _, err := tab.Guardband(2); err == nil {
+		t.Error("Guardband(2) should error")
+	}
+	if _, err := tab.Retention(8); err == nil {
+		t.Error("Retention(8) should error")
+	}
+}
+
+// TestDefaultDriftTableStable checks the package-level table is memoized
+// (same values on repeated calls) and matches a fresh derivation.
+func TestDefaultDriftTableStable(t *testing.T) {
+	a, b := DefaultDriftTable(), DefaultDriftTable()
+	if a != b {
+		t.Error("DefaultDriftTable not stable across calls")
+	}
+	fresh, err := DefaultDriftModel().Table()
+	if err != nil {
+		t.Fatalf("Table: %v", err)
+	}
+	if a != fresh {
+		t.Error("DefaultDriftTable differs from a fresh derivation")
+	}
+}
+
+// BenchmarkDriftExpired compares the memoized predicate against the
+// power-law evaluation it replaces.
+func BenchmarkDriftExpired(b *testing.B) {
+	tab := DefaultDriftTable()
+	m := tab.Model()
+	at := Retention(Mode3SETs) / 2
+	b.Run("table", func(b *testing.B) {
+		b.ReportAllocs()
+		sink := false
+		for i := 0; i < b.N; i++ {
+			sink = tab.Expired(3, at)
+		}
+		_ = sink
+	})
+	b.Run("model", func(b *testing.B) {
+		b.ReportAllocs()
+		sink := false
+		for i := 0; i < b.N; i++ {
+			sink = m.Expired(3, at)
+		}
+		_ = sink
+	})
+}

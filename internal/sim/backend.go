@@ -32,6 +32,19 @@ type backend struct {
 
 	// Peak backlog of RRM refreshes, for the deadline discussion.
 	maxRefreshBacklog int
+
+	// subFree recycles delayed-submission envelopes so the per-access
+	// Schedule closures disappear from the steady state.
+	subFree []*submission
+}
+
+// submission is one request waiting for its core-local delivery time.
+// The callback is bound once per pooled object.
+type submission struct {
+	b      *backend
+	req    *memctrl.Request
+	coreID int
+	fn     func(timing.Time)
 }
 
 func newBackend(sys *System) *backend {
@@ -71,7 +84,8 @@ func (b *backend) Access(coreID int, addr uint64, store bool, now timing.Time, d
 		reply.Stall = timing.Time(float64(res.Latency) * b.sys.cfg.HitStallFactor)
 	case cache.InMemory:
 		reply.Pending = true
-		req := &memctrl.Request{Kind: memctrl.ReadReq, Addr: res.MemReadAddr, OnDone: done}
+		req := b.sys.ctl.AcquireRequest()
+		req.Kind, req.Addr, req.OnDone = memctrl.ReadReq, res.MemReadAddr, done
 		b.submitAt(now, req, coreID)
 	}
 
@@ -79,7 +93,8 @@ func (b *backend) Access(coreID int, addr uint64, store bool, now timing.Time, d
 	for i := 0; i < res.NumMemWrites; i++ {
 		wb := res.MemWrites[i]
 		mode := b.sys.policy.DecideWriteMode(wb, now)
-		req := &memctrl.Request{Kind: memctrl.WriteReq, Addr: wb, Mode: mode, Wear: pcm.WearDemandWrite}
+		req := b.sys.ctl.AcquireRequest()
+		req.Kind, req.Addr, req.Mode, req.Wear = memctrl.WriteReq, wb, mode, pcm.WearDemandWrite
 		b.submitAt(now, req, coreID)
 	}
 	if b.totalOverflowWB > 0 {
@@ -92,9 +107,22 @@ func (b *backend) Access(coreID int, addr uint64, store bool, now timing.Time, d
 // submitAt delivers a request to the controller at the core-local time
 // now (which is at or after the event clock).
 func (b *backend) submitAt(now timing.Time, req *memctrl.Request, coreID int) {
-	b.sys.eq.Schedule(now, func(t timing.Time) {
-		b.submit(req, coreID, t)
-	})
+	var s *submission
+	if n := len(b.subFree); n > 0 {
+		s = b.subFree[n-1]
+		b.subFree[n-1] = nil
+		b.subFree = b.subFree[:n-1]
+	} else {
+		s = &submission{b: b}
+		s.fn = func(t timing.Time) {
+			req, coreID := s.req, s.coreID
+			s.req = nil
+			s.b.subFree = append(s.b.subFree, s)
+			s.b.submit(req, coreID, t)
+		}
+	}
+	s.req, s.coreID = req, coreID
+	b.sys.eq.Schedule(now, s.fn)
 }
 
 // submit enqueues or parks a request.
@@ -178,7 +206,8 @@ func (b *backend) IssueRefresh(addr uint64, mode pcm.WriteMode, kind pcm.WearKin
 	if b.stopped {
 		return
 	}
-	req := &memctrl.Request{Kind: memctrl.RefreshReq, Addr: addr, Mode: mode, Wear: kind}
+	req := b.sys.ctl.AcquireRequest()
+	req.Kind, req.Addr, req.Mode, req.Wear = memctrl.RefreshReq, addr, mode, kind
 	b.submit(req, -1, b.sys.eq.Now())
 }
 

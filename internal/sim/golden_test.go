@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rrmpcm/internal/pcm"
+	"rrmpcm/internal/timing"
+	"rrmpcm/internal/trace"
+)
+
+var updateGolden = flag.Bool("update", false, "regenerate testdata/golden files")
+
+// goldenCases enumerates the fixed-seed quick runs whose full metrics
+// JSON is pinned under testdata/golden. One case per scheme family plus
+// an RRM run on a second workload, so the controller, policy, trace and
+// wear paths are all exercised.
+func goldenCases() []struct {
+	name     string
+	scheme   Scheme
+	workload string
+} {
+	return []struct {
+		name     string
+		scheme   Scheme
+		workload string
+	}{
+		{"static-3-GemsFDTD", StaticScheme(pcm.Mode3SETs), "GemsFDTD"},
+		{"static-4-GemsFDTD", StaticScheme(pcm.Mode4SETs), "GemsFDTD"},
+		{"static-5-GemsFDTD", StaticScheme(pcm.Mode5SETs), "GemsFDTD"},
+		{"static-6-GemsFDTD", StaticScheme(pcm.Mode6SETs), "GemsFDTD"},
+		{"static-7-GemsFDTD", StaticScheme(pcm.Mode7SETs), "GemsFDTD"},
+		{"rrm-GemsFDTD", RRMScheme(), "GemsFDTD"},
+		{"rrm-mcf", RRMScheme(), "mcf"},
+	}
+}
+
+// goldenConfig is the pinned quick configuration: small windows, fixed
+// seed, retention checking on. Any change here invalidates every golden
+// file, so treat it as frozen.
+func goldenConfig(scheme Scheme, w trace.Workload) Config {
+	cfg := DefaultConfig(scheme, w)
+	cfg.Duration = 1500 * timing.Microsecond
+	cfg.Warmup = 500 * timing.Microsecond
+	cfg.TimeScale = 1000
+	cfg.Seed = 1
+	return cfg
+}
+
+// TestGoldenMetrics locks the simulator's observable behavior: every
+// optimization of the hot path must leave these fixed-seed metrics
+// byte-for-byte identical. Regenerate deliberately with
+//
+//	go test ./internal/sim -run TestGoldenMetrics -update
+//
+// and review the diff like any other behavior change.
+func TestGoldenMetrics(t *testing.T) {
+	for _, tc := range goldenCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			w, err := trace.WorkloadByName(tc.workload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys, err := New(goldenConfig(tc.scheme, w))
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := sys.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := json.MarshalIndent(m, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+
+			path := filepath.Join("testdata", "golden", tc.name+".json")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("metrics diverged from %s\n%s", path, goldenDiff(want, got))
+			}
+		})
+	}
+}
+
+// goldenDiff renders a line diff small enough to read in test output.
+func goldenDiff(want, got []byte) string {
+	wl := strings.Split(string(want), "\n")
+	gl := strings.Split(string(got), "\n")
+	var b strings.Builder
+	n := len(wl)
+	if len(gl) > n {
+		n = len(gl)
+	}
+	diffs := 0
+	for i := 0; i < n && diffs < 20; i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w != g {
+			diffs++
+			b.WriteString("- " + w + "\n+ " + g + "\n")
+		}
+	}
+	if diffs == 0 {
+		return "(files differ in length only)"
+	}
+	return b.String()
+}
+
+// TestGoldenMetricsDeterministic runs one golden case twice in-process
+// and demands identical JSON, independent of the checked-in files: a
+// fast tripwire for any nondeterminism (map iteration, pooling order)
+// introduced by hot-path changes.
+func TestGoldenMetricsDeterministic(t *testing.T) {
+	w, err := trace.WorkloadByName("GemsFDTD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []byte {
+		sys, err := New(goldenConfig(RRMScheme(), w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := sys.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("identical configs produced different metrics:\n%s\n%s", a, b)
+	}
+}

@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzMetricsJSONRoundTrip fuzzes the ModeWrites snapshot codec: any blob
+// the decoder accepts must re-encode canonically (mode-name keys, mode
+// order) and survive a second round trip unchanged. This is the format
+// the run cache and the HTTP service persist, so decode→encode must be a
+// fixed point for both the format-2 spelling and the legacy integer keys.
+func FuzzMetricsJSONRoundTrip(f *testing.F) {
+	f.Add([]byte(`{"3-SETs-Write":1,"7-SETs-Write":1200}`)) // format 2
+	f.Add([]byte(`{"3":1,"7":2}`))                          // legacy integer keys
+	f.Add([]byte(`{"static-5":9,"4-SETs":4}`))              // accepted aliases
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"8":1}`))
+	f.Add([]byte(`{"3-SETs-Write":-1}`))
+	f.Add([]byte(`[]`))
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		var w ModeWrites
+		if err := json.Unmarshal(blob, &w); err != nil {
+			return // rejected input: fine, as long as it didn't panic
+		}
+		enc, err := json.Marshal(w)
+		if err != nil {
+			t.Fatalf("accepted %q but re-encode failed: %v", blob, err)
+		}
+		var w2 ModeWrites
+		if err := json.Unmarshal(enc, &w2); err != nil {
+			t.Fatalf("own encoding %q does not decode: %v", enc, err)
+		}
+		if len(w2) != len(w) {
+			t.Fatalf("round trip changed size: %v -> %v", w, w2)
+		}
+		for m, n := range w {
+			if w2[m] != n {
+				t.Fatalf("round trip changed %v: %d -> %d", m, n, w2[m])
+			}
+		}
+		enc2, err := json.Marshal(w2)
+		if err != nil {
+			t.Fatalf("second encode failed: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("encoding not canonical: %q then %q", enc, enc2)
+		}
+	})
+}

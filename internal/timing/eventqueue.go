@@ -1,8 +1,10 @@
 package timing
 
-import "container/heap"
-
 // Event is a callback scheduled to run at a particular simulation time.
+// Events are owned and recycled by their EventQueue: once an event has
+// fired or been cancelled the queue may reuse its storage for a later
+// Schedule, so callers must not retain *Event across those points. Use
+// the EventRef returned by Schedule, which stays safe to Cancel forever.
 type Event struct {
 	At Time
 	Do func(now Time)
@@ -11,14 +13,33 @@ type Event struct {
 	idx int   // heap index, -1 when not queued
 }
 
+// EventRef is a cancellation handle for a scheduled event. The zero
+// EventRef refers to nothing; cancelling it is a no-op. A ref whose
+// event already fired or was cancelled is detected by its sequence
+// number (sequence numbers are never reused), so stale refs are always
+// safe, even after the queue recycles the event's storage.
+type EventRef struct {
+	ev  *Event
+	seq int64
+}
+
+// Valid reports whether the ref was obtained from Schedule (it may
+// still refer to an already-fired event).
+func (r EventRef) Valid() bool { return r.ev != nil }
+
 // EventQueue is a deterministic min-heap of events. Events scheduled for
 // the same instant fire in the order they were scheduled, which keeps
 // simulations reproducible regardless of map iteration or goroutine
 // scheduling (the simulator is single-threaded).
+//
+// Fired and cancelled events are kept on an internal free list and
+// reused by later Schedule calls, so a steady-state simulation
+// schedules millions of events without allocating.
 type EventQueue struct {
-	h   eventHeap
-	seq int64
-	now Time
+	h    []*Event
+	free []*Event
+	seq  int64
+	now  Time
 }
 
 // NewEventQueue returns an empty queue whose clock starts at 0.
@@ -36,29 +57,57 @@ func (q *EventQueue) Len() int { return len(q.h) }
 // Schedule enqueues fn to run at time at. Scheduling in the past (before
 // Now) is a programming error and panics, since it would silently reorder
 // causality.
-func (q *EventQueue) Schedule(at Time, fn func(now Time)) *Event {
+func (q *EventQueue) Schedule(at Time, fn func(now Time)) EventRef {
 	if at < q.now {
 		panic("timing: event scheduled in the past")
 	}
-	ev := &Event{At: at, Do: fn, seq: q.seq}
+	var ev *Event
+	if n := len(q.free); n > 0 {
+		ev = q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+	} else {
+		ev = &Event{}
+	}
+	ev.At, ev.Do, ev.seq = at, fn, q.seq
 	q.seq++
-	heap.Push(&q.h, ev)
-	return ev
+	ev.idx = len(q.h)
+	q.h = append(q.h, ev)
+	q.siftUp(ev.idx)
+	return EventRef{ev: ev, seq: ev.seq}
 }
 
 // After enqueues fn to run d after the current time.
-func (q *EventQueue) After(d Time, fn func(now Time)) *Event {
+func (q *EventQueue) After(d Time, fn func(now Time)) EventRef {
 	return q.Schedule(q.now+d, fn)
 }
 
-// Cancel removes a pending event. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (q *EventQueue) Cancel(ev *Event) {
-	if ev == nil || ev.idx < 0 || ev.idx >= len(q.h) || q.h[ev.idx] != ev {
+// Cancel removes a pending event. Cancelling a zero ref, or a ref whose
+// event already fired or was already cancelled, is a no-op.
+func (q *EventQueue) Cancel(ref EventRef) {
+	ev := ref.ev
+	if ev == nil || ev.seq != ref.seq || ev.idx < 0 {
 		return
 	}
-	heap.Remove(&q.h, ev.idx)
+	i := ev.idx
+	last := len(q.h) - 1
+	q.h[i] = q.h[last]
+	q.h[i].idx = i
+	q.h[last] = nil
+	q.h = q.h[:last]
+	if i < last {
+		if !q.siftDown(i) {
+			q.siftUp(i)
+		}
+	}
+	q.recycle(ev)
+}
+
+// recycle returns a dequeued event to the free list.
+func (q *EventQueue) recycle(ev *Event) {
 	ev.idx = -1
+	ev.Do = nil // release the closure for GC
+	q.free = append(q.free, ev)
 }
 
 // PeekTime returns the time of the earliest pending event, or Forever if
@@ -76,10 +125,23 @@ func (q *EventQueue) Step() bool {
 	if len(q.h) == 0 {
 		return false
 	}
-	ev := heap.Pop(&q.h).(*Event)
+	ev := q.h[0]
+	last := len(q.h) - 1
+	q.h[0] = q.h[last]
+	q.h[0].idx = 0
+	q.h[last] = nil
+	q.h = q.h[:last]
+	if last > 0 {
+		q.siftDown(0)
+	}
 	ev.idx = -1
 	q.now = ev.At
-	ev.Do(q.now)
+	do := ev.Do
+	// Recycle before dispatch: the callback may Schedule, and reusing
+	// this event's storage there is safe because the caller's EventRef
+	// sequence number no longer matches.
+	q.recycle(ev)
+	do(q.now)
 	return true
 }
 
@@ -104,34 +166,54 @@ func (q *EventQueue) Drain(maxEvents int) int {
 	return n
 }
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].At != h[j].At {
-		return h[i].At < h[j].At
+// less orders the heap by time, then schedule order.
+func (q *EventQueue) less(a, b *Event) bool {
+	if a.At != b.At {
+		return a.At < b.At
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
+// siftUp restores the heap property from index i toward the root.
+func (q *EventQueue) siftUp(i int) {
+	h := q.h
+	ev := h[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(ev, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		h[i].idx = i
+		i = parent
+	}
+	h[i] = ev
+	ev.idx = i
 }
 
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.idx = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+// siftDown restores the heap property from index i toward the leaves,
+// reporting whether the event moved.
+func (q *EventQueue) siftDown(i int) bool {
+	h := q.h
+	n := len(h)
+	ev := h[i]
+	start := i
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && q.less(h[r], h[child]) {
+			child = r
+		}
+		if !q.less(h[child], ev) {
+			break
+		}
+		h[i] = h[child]
+		h[i].idx = i
+		i = child
+	}
+	h[i] = ev
+	ev.idx = i
+	return i > start
 }

@@ -133,8 +133,8 @@ func TestEventQueueCancel(t *testing.T) {
 	ev := q.Schedule(10, func(Time) { fired = append(fired, 1) })
 	q.Schedule(20, func(Time) { fired = append(fired, 2) })
 	q.Cancel(ev)
-	q.Cancel(ev) // double-cancel is a no-op
-	q.Cancel(nil)
+	q.Cancel(ev)         // double-cancel is a no-op
+	q.Cancel(EventRef{}) // zero ref is a no-op
 	q.Drain(100)
 	if len(fired) != 1 || fired[0] != 2 {
 		t.Errorf("fired = %v, want [2]", fired)
@@ -149,6 +149,41 @@ func TestEventQueueCancelAfterFire(t *testing.T) {
 	q.Schedule(10, func(Time) {})
 	if n := q.Drain(10); n != 1 {
 		t.Errorf("drained %d events, want 1", n)
+	}
+}
+
+func TestEventQueueStaleRefAfterRecycle(t *testing.T) {
+	// A ref to a fired event must stay a no-op even after the queue
+	// recycles the event's storage for a new Schedule.
+	q := NewEventQueue()
+	stale := q.Schedule(5, func(Time) {})
+	q.Step()
+	fired := 0
+	fresh := q.Schedule(10, func(Time) { fired++ }) // reuses the storage
+	q.Cancel(stale)                                 // must not cancel the fresh event
+	q.Drain(10)
+	if fired != 1 {
+		t.Errorf("stale ref cancelled a recycled event (fired=%d)", fired)
+	}
+	q.Cancel(fresh) // cancel after fire stays a no-op
+}
+
+func TestEventQueueScheduleSteadyStateAllocs(t *testing.T) {
+	q := NewEventQueue()
+	fn := func(Time) {}
+	// Warm the free list and heap backing array.
+	for i := 0; i < 64; i++ {
+		q.Schedule(Time(i), fn)
+	}
+	q.Drain(64)
+	avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 32; i++ {
+			q.Schedule(q.Now()+Time(i), fn)
+		}
+		q.Drain(32)
+	})
+	if avg > 0.5 {
+		t.Errorf("steady-state schedule/dispatch allocates %.1f objects per 32-event cycle, want ~0", avg)
 	}
 }
 
@@ -218,7 +253,7 @@ func TestEventQueueRandomizedOrdering(t *testing.T) {
 
 func TestEventQueueCancelMiddleOfHeap(t *testing.T) {
 	q := NewEventQueue()
-	var events []*Event
+	var events []EventRef
 	count := 0
 	for i := 0; i < 20; i++ {
 		events = append(events, q.Schedule(Time(i*10), func(Time) { count++ }))

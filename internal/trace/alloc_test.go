@@ -1,0 +1,37 @@
+//go:build !race
+
+package trace
+
+import (
+	"testing"
+)
+
+// TestMixtureNextZeroAllocs pins the trace hot path at zero steady-state
+// allocations: every profile's generator, including the sweep-revisit
+// ring, must produce its stream without touching the heap. (Skipped under
+// -race: the detector's instrumentation allocates.)
+func TestMixtureNextZeroAllocs(t *testing.T) {
+	for _, prof := range Profiles() {
+		prof := prof
+		t.Run(prof.Name, func(t *testing.T) {
+			m, err := NewMixture(prof, 0, 2<<30, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var op Op
+			// Warm: fill the revisit ring and the stream cursor so any
+			// one-time growth happens before measuring.
+			for i := 0; i < 100_000; i++ {
+				m.Next(&op)
+			}
+			avg := testing.AllocsPerRun(100, func() {
+				for i := 0; i < 1000; i++ {
+					m.Next(&op)
+				}
+			})
+			if avg != 0 {
+				t.Errorf("Next allocates %.2f per 1000 ops, want 0", avg)
+			}
+		})
+	}
+}

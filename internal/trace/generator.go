@@ -45,9 +45,13 @@ type Mixture struct {
 	sweepNext int
 	sweepLeft int
 
-	// revisitQueue holds regions awaiting their second sweep (paired
-	// sweeps; see Profile.SweepGapRegions).
-	revisitQueue []uint64
+	// revisit is a FIFO ring of regions awaiting their second sweep
+	// (paired sweeps; see Profile.SweepGapRegions). A ring instead of a
+	// shifted slice keeps pops O(1) and the backing array stable, so
+	// steady-state generation is allocation-free.
+	revisit     []uint64
+	revisitHead int
+	revisitLen  int
 }
 
 // NewMixture builds a generator for one benchmark copy. base/span carve
@@ -69,6 +73,11 @@ func NewMixture(prof Profile, base, span uint64, seed uint64) (*Mixture, error) 
 		rng:  newPRNG(seed),
 		base: base,
 		span: span,
+	}
+	if g := prof.SweepGapRegions; g > 0 {
+		// Steady-state ring occupancy is g+1 (one push per pop once the
+		// gap is filled); pre-size so generation never allocates.
+		m.revisit = make([]uint64, g+2)
 	}
 	// Average non-memory instructions between memory ops.
 	m.avgNonMem = (1 - prof.MemFraction) / prof.MemFraction
@@ -143,15 +152,13 @@ func (m *Mixture) hotRegionIndex() int {
 // one finishes.
 func (m *Mixture) hotSweepAddr() uint64 {
 	if m.sweepLeft == 0 {
-		if g := m.prof.SweepGapRegions; g > 0 && len(m.revisitQueue) > g {
+		if g := m.prof.SweepGapRegions; g > 0 && m.revisitLen > g {
 			// Second pass over a region swept a while ago.
-			m.sweepBase = m.revisitQueue[0]
-			copy(m.revisitQueue, m.revisitQueue[1:])
-			m.revisitQueue = m.revisitQueue[:len(m.revisitQueue)-1]
+			m.sweepBase = m.revisitPop()
 		} else {
 			m.sweepBase = m.hotBases[m.hotRegionIndex()]
 			if m.prof.SweepGapRegions > 0 {
-				m.revisitQueue = append(m.revisitQueue, m.sweepBase)
+				m.revisitPush(m.sweepBase)
 			}
 		}
 		m.sweepNext = 0
@@ -164,6 +171,33 @@ func (m *Mixture) hotSweepAddr() uint64 {
 	m.sweepNext++
 	m.sweepLeft--
 	return addr
+}
+
+// revisitPop removes and returns the oldest queued revisit region.
+func (m *Mixture) revisitPop() uint64 {
+	v := m.revisit[m.revisitHead]
+	m.revisitHead++
+	if m.revisitHead == len(m.revisit) {
+		m.revisitHead = 0
+	}
+	m.revisitLen--
+	return v
+}
+
+// revisitPush appends a region to the revisit ring, growing it when
+// full (steady state never grows: the queue length is bounded by
+// SweepGapRegions+1).
+func (m *Mixture) revisitPush(base uint64) {
+	if m.revisitLen == len(m.revisit) {
+		grown := make([]uint64, 2*len(m.revisit)+2)
+		for i := 0; i < m.revisitLen; i++ {
+			grown[i] = m.revisit[(m.revisitHead+i)%len(m.revisit)]
+		}
+		m.revisit = grown
+		m.revisitHead = 0
+	}
+	m.revisit[(m.revisitHead+m.revisitLen)%len(m.revisit)] = base
+	m.revisitLen++
 }
 
 // hotRandomAddr picks a uniform block in a power-law chosen hot region
