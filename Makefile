@@ -31,7 +31,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/engine/... ./internal/experiments/... ./internal/server/... ./internal/sim/... ./internal/trace/...
+	$(GO) test -race ./internal/engine/... ./internal/experiments/... ./internal/reliability/... ./internal/server/... ./internal/sim/... ./internal/trace/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .

@@ -226,3 +226,30 @@ func BenchmarkFullSystemSimulation(b *testing.B) {
 		b.ReportMetric(float64(m.Instructions)/b.Elapsed().Seconds(), "sim-insts/s")
 	}
 }
+
+// BenchmarkReliabilitySimulation measures the end-to-end cost of the
+// fault-injection/ECC/scrubbing model on a full-system run (compare
+// against BenchmarkFullSystemSimulation for the disabled baseline).
+func BenchmarkReliabilitySimulation(b *testing.B) {
+	w, err := WorkloadByName("GemsFDTD")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig(StaticScheme(Mode3SETs), w)
+		cfg.Duration = 2 * Millisecond
+		cfg.Warmup = 500 * Microsecond
+		cfg.TimeScale = 1000
+		cfg.Reliability = DefaultReliabilityConfig()
+		cfg.Reliability.Enabled = true
+		m, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.Reliability == nil {
+			b.Fatal("reliability metrics missing")
+		}
+		b.ReportMetric(float64(m.Instructions)/b.Elapsed().Seconds(), "sim-insts/s")
+	}
+}

@@ -6,7 +6,14 @@
 //	rrmsim [-scheme rrm|static-3|...|static-7] [-workload GemsFDTD[,mcf,...]|all]
 //	       [-duration 40ms] [-warmup 10ms] [-timescale 100]
 //	       [-hot-threshold 16] [-coverage 4] [-region-kb 4] [-seed 1]
-//	       [-parallel N] [-cache-dir dir]
+//	       [-parallel N] [-cache-dir dir] [-json]
+//	       [-reliability] [-ecc-t 4] [-prog-ber 1e-5] [-ecc-latency 25ns]
+//	       [-patrol] [-patrol-interval 100ms] [-patrol-batch 64]
+//
+// -reliability turns on the drift-fault injector, the t-bit ECC model
+// and the scrubber; the report gains a Reliability section and the JSON
+// output a "reliability" block. -json prints each run's full Metrics
+// document instead of the text report.
 //
 // -workload accepts a comma-separated list (or "all"); the runs fan out
 // over the parallel experiment engine, reports printed in the order the
@@ -24,6 +31,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -51,6 +59,14 @@ func main() {
 	seed := flag.Uint64("seed", 1, "workload seed")
 	parallel := flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	cacheDir := flag.String("cache-dir", "", "disk-backed run cache directory (empty = no cache)")
+	reliabilityOn := flag.Bool("reliability", false, "enable the drift-fault/ECC/scrubbing model")
+	eccT := flag.Int("ecc-t", rrmpcm.DefaultReliabilityConfig().ECCBits, "ECC correction strength in bits per 64B line (with -reliability)")
+	progBER := flag.Float64("prog-ber", rrmpcm.DefaultReliabilityConfig().ProgBitErrorProb, "programming bit-error probability (with -reliability)")
+	eccLatency := flag.Duration("ecc-latency", 25*time.Nanosecond, "read-path stall per ECC correction (with -reliability)")
+	patrol := flag.Bool("patrol", false, "enable background patrol scrubbing (with -reliability)")
+	patrolInterval := flag.Duration("patrol-interval", 100*time.Millisecond, "real-time interval between patrol batches (with -patrol)")
+	patrolBatch := flag.Int("patrol-batch", rrmpcm.DefaultReliabilityConfig().PatrolBatch, "lines scrubbed per patrol batch (with -patrol)")
+	jsonOut := flag.Bool("json", false, "print metrics as JSON instead of the text report")
 	listW := flag.Bool("list-workloads", false, "list workloads and exit")
 	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
@@ -95,6 +111,17 @@ func main() {
 		cfg.Warmup = rrmpcm.Time(warmup.Nanoseconds()) * rrmpcm.Nanosecond
 		cfg.TimeScale = *timescale
 		cfg.Seed = *seed
+		if *reliabilityOn {
+			rel := rrmpcm.DefaultReliabilityConfig()
+			rel.Enabled = true
+			rel.ECCBits = *eccT
+			rel.ProgBitErrorProb = *progBER
+			rel.ECCLatency = rrmpcm.Time(eccLatency.Nanoseconds()) * rrmpcm.Nanosecond
+			rel.Patrol = *patrol
+			rel.PatrolInterval = rrmpcm.Time(patrolInterval.Nanoseconds()) * rrmpcm.Nanosecond
+			rel.PatrolBatch = *patrolBatch
+			cfg.Reliability = rel
+		}
 		job, err := experiments.NewJob(cfg, "")
 		if err != nil {
 			fatal(err)
@@ -125,6 +152,19 @@ func main() {
 		if res.Err != nil {
 			fmt.Fprintf(os.Stderr, "rrmsim: %s: %v\n", res.Name, res.Err)
 			failed = true
+			continue
+		}
+		if *jsonOut {
+			blob, err := json.MarshalIndent(res.Metrics, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rrmsim: %s: %v\n", res.Name, err)
+				failed = true
+				continue
+			}
+			fmt.Printf("%s\n", blob)
+			if res.Metrics.RetentionViolations > 0 {
+				failed = true
+			}
 			continue
 		}
 		if res.Cached {
@@ -206,8 +246,25 @@ func report(m rrmpcm.Metrics, wall time.Duration) bool {
 		fmt.Printf("  evictions            %8d (%d blocks flushed)\n", m.RRM.Evictions, m.RRM.EvictionFlush)
 		fmt.Printf("  hot entries/blocks   %d / %d\n", m.HotEntries, m.HotBlocks)
 	}
+	if rel := m.Reliability; rel != nil {
+		fmt.Printf("Reliability (t-bit ECC over drift-fault injection)\n")
+		fmt.Printf("  reads checked        %8d (clean %d, corrected %d, uncorrectable %d)\n",
+			rel.ReadsChecked, rel.CleanReads, rel.CorrectedReads, rel.UncorrectableReads)
+		fmt.Printf("  corrected reads      %8.0f per billion reads\n", rel.CorrectedPerBillionReads)
+		fmt.Printf("  uncorrectable reads  %8.0f per billion reads\n", rel.UncorrectablePerBillionReads)
+		fmt.Printf("  total uncorrectable  %8d (incl. scrub %d, final sweep %d)\n",
+			rel.Uncorrectable(), rel.ScrubFoundUncorrectable, rel.SweepUncorrectable)
+		fmt.Printf("  scrubs               %8d on write, %d on refresh, %d patrol\n",
+			rel.ScrubsOnWrite, rel.ScrubsOnRefresh, rel.PatrolIssued)
+		fmt.Printf("  scrub coverage       %8.1f%% of %d tracked lines\n\n",
+			100*rel.ScrubCoverage, rel.LinesTracked)
+	}
 	if m.RetentionViolations > 0 {
 		fmt.Printf("RETENTION VIOLATIONS: %d (%s)\n", m.RetentionViolations, m.FirstViolation)
+		if d := m.RetentionDetail; d != nil {
+			fmt.Printf("  expired on read / rewrite / at end: %d / %d / %d\n",
+				d.ExpiredOnRead, d.ExpiredOnRewrite, d.ExpiredAtEnd)
+		}
 		return false
 	}
 	fmt.Printf("retention check: clean\n")

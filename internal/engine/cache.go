@@ -13,8 +13,18 @@ import (
 
 // cacheFormat guards entry decoding; entries written by an incompatible
 // build read as misses, not errors. Format 2 switched Metrics.
-// WritesByMode to mode-name keys (sim.ModeWrites).
-const cacheFormat = 2
+// WritesByMode to mode-name keys (sim.ModeWrites). Format 3 added the
+// reliability and retention_detail metrics blocks; format-2 entries can
+// only exist for reliability-free configs (the config hash of an
+// enabled run did not exist before format 3), so they still decode —
+// see cacheFormatCompatible.
+const cacheFormat = 3
+
+// cacheFormatCompatible reports whether an on-disk entry's format can
+// be decoded by this build.
+func cacheFormatCompatible(format int) bool {
+	return format == 2 || format == cacheFormat
+}
 
 // cacheEntry is the on-disk envelope of one cached run.
 type cacheEntry struct {
@@ -64,7 +74,7 @@ func (c *RunCache) Load(key string) (sim.Metrics, bool, error) {
 		return sim.Metrics{}, false, fmt.Errorf("engine: reading cache entry: %w", err)
 	}
 	var e cacheEntry
-	if json.Unmarshal(blob, &e) != nil || e.Format != cacheFormat || e.Key != key {
+	if json.Unmarshal(blob, &e) != nil || !cacheFormatCompatible(e.Format) || e.Key != key {
 		return sim.Metrics{}, false, nil
 	}
 	return e.Metrics, true, nil

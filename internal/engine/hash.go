@@ -10,6 +10,7 @@ import (
 	"rrmpcm/internal/core"
 	"rrmpcm/internal/memctrl"
 	"rrmpcm/internal/pcm"
+	"rrmpcm/internal/reliability"
 	"rrmpcm/internal/sim"
 	"rrmpcm/internal/timing"
 	"rrmpcm/internal/trace"
@@ -43,6 +44,11 @@ type hashImage struct {
 	CoreROB            int
 	CoreMSHRs          int
 	EquivalentDuration timing.Time
+
+	// Reliability is present only when the model is enabled, so every
+	// reliability-free config keeps its pre-reliability hash (and its
+	// older cache entries stay valid).
+	Reliability *reliability.Config `json:",omitempty"`
 }
 
 // schemeImage mirrors sim.Scheme with Custom flattened to its name.
@@ -81,6 +87,10 @@ func ConfigHash(cfg sim.Config) (string, error) {
 	}
 	if cfg.Scheme.Custom != nil {
 		img.Scheme.Custom = cfg.Scheme.Custom.Name()
+	}
+	if cfg.Reliability.Enabled {
+		rel := cfg.Reliability
+		img.Reliability = &rel
 	}
 	blob, err := json.Marshal(img)
 	if err != nil {

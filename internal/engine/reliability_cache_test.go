@@ -1,0 +1,87 @@
+package engine
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rrmpcm/internal/sim"
+	"rrmpcm/internal/trace"
+)
+
+// TestRunCacheLegacyFormat: format-2 entries (written before the
+// reliability metrics block existed) still load — their configs could
+// not have had the fault model enabled, so decoding them into the wider
+// Metrics struct is lossless. Older formats stay misses.
+func TestRunCacheLegacyFormat(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenRunCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write := func(key string, format int) {
+		blob, err := json.Marshal(cacheEntry{
+			Format: format, Key: key, Scheme: "RRM", Workload: "mcf",
+			Metrics: sim.Metrics{Scheme: "RRM", Workload: "mcf", IPC: 2.5},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, key+".json"), blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("legacy2", 2)
+	write("ancient1", 1)
+	write("future", cacheFormat+1)
+
+	if m, ok, err := c.Load("legacy2"); err != nil || !ok || m.IPC != 2.5 {
+		t.Errorf("format-2 entry: ok=%v err=%v m=%+v, want a clean hit", ok, err, m)
+	}
+	for _, key := range []string{"ancient1", "future"} {
+		if _, ok, err := c.Load(key); err != nil || ok {
+			t.Errorf("%s: ok=%v err=%v, want a silent miss", key, ok, err)
+		}
+	}
+}
+
+// TestConfigHashReliability: disabled reliability configs hash exactly
+// as they did before the model existed (their knobs are invisible), so
+// every pre-reliability cache entry keeps its key; enabling the model or
+// changing an enabled knob re-keys the run.
+func TestConfigHashReliability(t *testing.T) {
+	w, err := trace.WorkloadByName("GemsFDTD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := sim.DefaultConfig(sim.RRMScheme(), w)
+	h0, err := ConfigHash(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Knob changes on a disabled model must not re-key.
+	mutated := base
+	mutated.Reliability.ECCBits = 8
+	mutated.Reliability.ProgBitErrorProb = 0.1
+	if h, _ := ConfigHash(mutated); h != h0 {
+		t.Errorf("disabled reliability knobs changed the hash: %s != %s", h, h0)
+	}
+
+	enabled := base
+	enabled.Reliability.Enabled = true
+	h1, err := ConfigHash(enabled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 == h0 {
+		t.Error("enabling reliability did not change the hash")
+	}
+
+	stronger := enabled
+	stronger.Reliability.ECCBits = 8
+	if h2, _ := ConfigHash(stronger); h2 == h1 {
+		t.Error("changing an enabled reliability knob did not change the hash")
+	}
+}

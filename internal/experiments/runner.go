@@ -24,6 +24,7 @@ import (
 	"rrmpcm/internal/core"
 	"rrmpcm/internal/engine"
 	"rrmpcm/internal/pcm"
+	"rrmpcm/internal/reliability"
 	"rrmpcm/internal/sim"
 	"rrmpcm/internal/stats"
 	"rrmpcm/internal/timing"
@@ -53,6 +54,10 @@ type Options struct {
 	// Context, if non-nil, cancels in-flight and pending runs when it
 	// is done (Ctrl-C handling in cmd/experiments).
 	Context context.Context
+	// Reliability, when Enabled, turns on the drift-fault/ECC/scrub
+	// model for every run of the pass (the reliability experiment sets
+	// its own windows per run instead).
+	Reliability reliability.Config
 }
 
 // SimConfig builds the run configuration for a scheme/workload pair
@@ -77,6 +82,9 @@ func (o Options) SimConfig(scheme sim.Scheme, w trace.Workload) sim.Config {
 	}
 	if o.Seed != 0 {
 		cfg.Seed = o.Seed
+	}
+	if o.Reliability.Enabled {
+		cfg.Reliability = o.Reliability
 	}
 	return cfg
 }

@@ -13,6 +13,7 @@ type Controller struct {
 	amap  *pcm.AddressMap
 	eq    *timing.EventQueue
 	rec   Recorder
+	ri    ReadIntegrity // nil: reads complete without ECC inspection
 	chans []*channel
 	stats Stats
 
@@ -54,6 +55,10 @@ func New(cfg Config, amap *pcm.AddressMap, eq *timing.EventQueue, rec Recorder) 
 
 // Config returns the controller configuration.
 func (c *Controller) Config() Config { return c.cfg }
+
+// SetReadIntegrity installs the demand-read ECC hook. Must be called
+// before the simulation starts; nil leaves reads uninspected.
+func (c *Controller) SetReadIntegrity(ri ReadIntegrity) { c.ri = ri }
 
 // Stats returns a copy of the aggregate counters.
 func (c *Controller) Stats() Stats { return c.stats }
@@ -524,6 +529,13 @@ func (ch *channel) startRead(r *Request, now timing.Time) {
 	ch.busFreeAt = done
 	ch.ctl.stats.BankBusy += done - now
 	b.freeAt = done
+
+	// ECC inspection: a correction stall delays data delivery (and counts
+	// against read latency) but the bank and bus are released at transfer
+	// end — correction happens in the controller's decode pipeline.
+	if ch.ctl.ri != nil {
+		done += ch.ctl.ri.OnDemandRead(r.Addr, done)
+	}
 
 	lat := done - r.enqueuedAt
 	ch.ctl.stats.ReadsServed++

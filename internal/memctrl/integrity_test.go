@@ -1,0 +1,74 @@
+package memctrl
+
+import (
+	"testing"
+
+	"rrmpcm/internal/pcm"
+	"rrmpcm/internal/timing"
+)
+
+// fixedStallIntegrity stalls every inspected read by a constant and
+// records the addresses it saw.
+type fixedStallIntegrity struct {
+	stall timing.Time
+	seen  []uint64
+}
+
+func (f *fixedStallIntegrity) OnDemandRead(addr uint64, now timing.Time) timing.Time {
+	f.seen = append(f.seen, addr)
+	return f.stall
+}
+
+// TestReadIntegrityStall: the integrity hook's stall delays data
+// delivery and counts in read latency, but the bank frees at transfer
+// end — a following row hit is not pushed back by the ECC decode.
+func TestReadIntegrityStall(t *testing.T) {
+	r := newRig(t, nil)
+	ri := &fixedStallIntegrity{stall: 25 * timing.Nanosecond}
+	r.ctl.SetReadIntegrity(ri)
+
+	// Two same-row reads queued together: the second must start from the
+	// first's transfer end, not its decode end — the ECC stall delays
+	// data delivery only, never bank occupancy.
+	var first, second timing.Time
+	r.ctl.TryEnqueue(&Request{Kind: ReadReq, Addr: 0, OnDone: func(now timing.Time) { first = now }})
+	r.ctl.TryEnqueue(&Request{Kind: ReadReq, Addr: 512, OnDone: func(now timing.Time) { second = now }})
+	r.run(t)
+	base := timing.MemCycles(48) + timing.MemCycles(1) + timing.MemCycles(8)
+	if want := base + ri.stall; first != want {
+		t.Errorf("stalled read done at %v, want %v", first, want)
+	}
+	if len(ri.seen) != 2 {
+		t.Errorf("integrity hook saw %v, want both reads", ri.seen)
+	}
+	hit := timing.MemCycles(1) + timing.MemCycles(8)
+	if want := base + hit + ri.stall; second != want {
+		t.Errorf("second read done at %v, want %v (bank freed at transfer end)", second, want)
+	}
+	if s := r.ctl.Stats(); s.ReadLatencySum != first+second {
+		t.Errorf("read latency sum %v does not include the stalls (%v + %v)", s.ReadLatencySum, first, second)
+	}
+}
+
+// TestReadIntegritySkipsForwards: reads served from the write queue
+// never touch the array, so the integrity hook must not see them.
+func TestReadIntegritySkipsForwards(t *testing.T) {
+	r := newRig(t, nil)
+	ri := &fixedStallIntegrity{stall: 25 * timing.Nanosecond}
+	r.ctl.SetReadIntegrity(ri)
+
+	for i := 0; i < 3; i++ {
+		r.ctl.TryEnqueue(&Request{Kind: WriteReq, Addr: uint64(i) << 20, Mode: pcm.Mode7SETs, Wear: pcm.WearDemandWrite})
+	}
+	var readDone timing.Time
+	r.ctl.TryEnqueue(&Request{Kind: ReadReq, Addr: 2 << 20, OnDone: func(now timing.Time) { readDone = now }})
+	r.run(t)
+	if want := timing.MemCycles(1) + timing.MemCycles(8); readDone != want {
+		t.Errorf("forwarded read done at %v, want %v (no ECC stall)", readDone, want)
+	}
+	for _, a := range ri.seen {
+		if a == 2<<20 {
+			t.Error("integrity hook inspected a forwarded read")
+		}
+	}
+}

@@ -83,6 +83,15 @@ type Recorder interface {
 	RecordRead(addr uint64)
 }
 
+// ReadIntegrity inspects every demand read served from the array and
+// returns the ECC stall to add to its latency (zero for clean data).
+// Reads forwarded from the write queue carry just-written data and are
+// not inspected. The simulator wires this to the reliability engine's
+// fault injector; nil disables the hook.
+type ReadIntegrity interface {
+	OnDemandRead(addr uint64, now timing.Time) timing.Time
+}
+
 // NopRecorder discards all notifications.
 type NopRecorder struct{}
 

@@ -103,6 +103,47 @@ func (m DriftModel) Expired(sets int, t timing.Time) bool {
 	return m.DriftedShift(t) > g
 }
 
+// qTail is the standard-normal upper tail Q(z) = P(X > z).
+func qTail(z float64) float64 {
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}
+
+// BitErrorProb returns the probability that one stored bit, written with
+// the given SET count, reads wrong after elapsed time t.
+//
+// The programmed log10-resistance is Gaussian with deviation SigmaLog10
+// truncated at KSigma by the program-and-verify loop (cells further out
+// are re-programmed), and every cell then drifts upward by DriftedShift.
+// A bit is misread once its drifted resistance crosses the full level
+// separation GuardbandMax, so the error probability is the truncated
+// upper tail past GuardbandMax - shift:
+//
+//	p(t) = (Q(z) - Q(KSigma)) / (1 - Q(KSigma)),  z = (GuardbandMax - shift(t)) / sigma
+//
+// p is exactly 0 while the drifted shift stays inside the effective
+// guardband (z >= KSigma, i.e. t <= retention), rises continuously from
+// 0 at the retention deadline, and is monotone in t — the property the
+// reliability fault injector and its tests rely on.
+func (m DriftModel) BitErrorProb(sets int, t timing.Time) (float64, error) {
+	g, err := m.Guardband(sets)
+	if err != nil {
+		return 0, err
+	}
+	shift := m.DriftedShift(t)
+	if shift <= g {
+		return 0, nil
+	}
+	sigma := m.SigmaLog10[sets-Fastest.Sets()]
+	qk := qTail(m.KSigma)
+	p := (qTail((m.GuardbandMax-shift)/sigma) - qk) / (1 - qk)
+	if p < 0 {
+		p = 0
+	} else if p > 1 {
+		p = 1
+	}
+	return p, nil
+}
+
 // DriftTable is the memoized form of a DriftModel: the guardband and
 // retention of every write mode evaluated once, so hot loops (retention
 // checkers, refresh policies, mode-table sweeps) ask drift questions
@@ -113,6 +154,13 @@ type DriftTable struct {
 	model     DriftModel
 	guardband [5]float64
 	retention [5]timing.Time
+
+	// Truncated-Gaussian tail constants of BitErrorProb, hoisted so the
+	// per-read fault-injection path pays one log10 and one erfc, never a
+	// re-derivation of the truncation normalizer.
+	invSigma [5]float64
+	qK       float64 // Q(KSigma)
+	invTail  float64 // 1 / (1 - Q(KSigma))
 }
 
 // Table memoizes the model into a DriftTable.
@@ -129,7 +177,10 @@ func (m DriftModel) Table() (DriftTable, error) {
 		}
 		t.guardband[i] = g
 		t.retention[i] = ret
+		t.invSigma[i] = 1 / m.SigmaLog10[i]
 	}
+	t.qK = qTail(m.KSigma)
+	t.invTail = 1 / (1 - t.qK)
 	return t, nil
 }
 
@@ -162,6 +213,28 @@ func (t DriftTable) Expired(sets int, elapsed timing.Time) bool {
 		return true
 	}
 	return elapsed > t.retention[sets-Fastest.Sets()]
+}
+
+// BitErrorProb is the memoized form of DriftModel.BitErrorProb: zero is
+// decided by the integer retention compare, and past the deadline the
+// truncation constants are table lookups. Out-of-range SET counts report
+// probability 1 (unknown programming precision: treat as lost).
+func (t DriftTable) BitErrorProb(sets int, elapsed timing.Time) float64 {
+	if sets < Fastest.Sets() || sets > Slowest.Sets() {
+		return 1
+	}
+	i := sets - Fastest.Sets()
+	if elapsed <= t.retention[i] {
+		return 0
+	}
+	z := (t.model.GuardbandMax - t.model.DriftedShift(elapsed)) * t.invSigma[i]
+	p := (qTail(z) - t.qK) * t.invTail
+	if p < 0 {
+		p = 0
+	} else if p > 1 {
+		p = 1
+	}
+	return p
 }
 
 var (

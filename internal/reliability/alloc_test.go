@@ -1,0 +1,68 @@
+//go:build !race
+
+package reliability
+
+import (
+	"testing"
+
+	"rrmpcm/internal/pcm"
+	"rrmpcm/internal/timing"
+)
+
+// TestReadPathAllocs pins the demand-read hot path — map lookup, drift
+// update with a binomial draw, ECC classification — at zero steady-state
+// allocations. lineState is value-typed in the map for exactly this.
+// (Skipped under -race: the detector's instrumentation allocates.)
+func TestReadPathAllocs(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Enabled = true
+	e := New(cfg, pcm.DefaultDriftTable(), 1500, 1, 7)
+	const lines = 4096
+	for i := uint64(0); i < lines; i++ {
+		e.OnWrite(i<<6, pcm.Mode3SETs, pcm.WearDemandWrite, timing.Time(i))
+	}
+
+	now := 10 * timing.Millisecond
+	i := uint64(0)
+	avg := testing.AllocsPerRun(200, func() {
+		for n := 0; n < 1000; n++ {
+			i = (i + 1) % lines
+			e.OnDemandRead(i<<6, now)
+			now += timing.Nanosecond
+		}
+	})
+	if avg > 0.5 {
+		t.Errorf("read path allocates %.2f per 1000 reads, want 0", avg)
+	}
+
+	// Rewrites of tracked lines are also steady-state (no map growth).
+	avg = testing.AllocsPerRun(200, func() {
+		for n := 0; n < 1000; n++ {
+			i = (i + 1) % lines
+			e.OnWrite(i<<6, pcm.Mode3SETs, pcm.WearDemandWrite, now)
+			now += timing.Nanosecond
+		}
+	})
+	if avg > 0.5 {
+		t.Errorf("rewrite path allocates %.2f per 1000 writes, want 0", avg)
+	}
+}
+
+// BenchmarkReliabilityReadPath measures the per-read overhead of the
+// fault model at steady state (tracked line, no error).
+func BenchmarkReliabilityReadPath(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Enabled = true
+	e := New(cfg, pcm.DefaultDriftTable(), 1500, 1, 7)
+	const lines = 4096
+	for i := uint64(0); i < lines; i++ {
+		e.OnWrite(i<<6, pcm.Mode3SETs, pcm.WearDemandWrite, timing.Time(i))
+	}
+	now := timing.Millisecond
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		e.OnDemandRead(uint64(n%lines)<<6, now)
+		now += timing.Nanosecond
+	}
+}

@@ -1,0 +1,85 @@
+package reliability
+
+import "rrmpcm/internal/timing"
+
+// Metrics is the error/ECC/scrub accounting of one run (or one
+// measurement window, after Sub). Counter semantics:
+//
+//   - "reads checked" are demand reads of lines the injector tracks; a
+//     read of a line never written in the simulated window has nothing
+//     to check and is not counted.
+//   - scrubs are rewrites of an already-tracked line, split by cause;
+//     each scrub also classifies the state it wiped (what the refresh
+//     read saw), so "scrub found uncorrectable" counts data that was
+//     already lost when its refresh finally arrived.
+//   - the end-of-run sweep classifies every still-tracked line once, so
+//     errors latent in lines the workload never re-read are visible too.
+type Metrics struct {
+	// Demand-read ECC classification.
+	ReadsChecked       uint64
+	CleanReads         uint64
+	CorrectedReads     uint64
+	UncorrectableReads uint64
+	BitFlipsCorrected  uint64
+	CorrectionStall    timing.Time
+
+	// Scrub accounting.
+	ScrubsOnWrite           uint64 // demand write rewrote a tracked line
+	ScrubsOnRefresh         uint64 // RRM/slow/global refresh rewrote it
+	PatrolIssued            uint64 // patrol refreshes handed to the controller
+	ScrubFoundCorrected     uint64
+	ScrubFoundUncorrectable uint64
+
+	// End-of-run sweep over still-tracked lines.
+	SweepLines         uint64
+	SweepCorrected     uint64
+	SweepUncorrectable uint64
+
+	// Tracking state (gauges, not subtracted by Sub).
+	LinesTracked  uint64 // distinct lines ever tracked
+	LinesScrubbed uint64 // distinct lines scrubbed at least once
+
+	// Derived rates, filled by Finalize.
+	CorrectedPerBillionReads     float64
+	UncorrectablePerBillionReads float64
+	ScrubCoverage                float64 // LinesScrubbed / LinesTracked
+}
+
+// Sub returns m minus a baseline snapshot (warmup subtraction). Gauges
+// and derived rates are kept from m; call Finalize after Sub.
+func (m Metrics) Sub(base Metrics) Metrics {
+	d := m
+	d.ReadsChecked -= base.ReadsChecked
+	d.CleanReads -= base.CleanReads
+	d.CorrectedReads -= base.CorrectedReads
+	d.UncorrectableReads -= base.UncorrectableReads
+	d.BitFlipsCorrected -= base.BitFlipsCorrected
+	d.CorrectionStall -= base.CorrectionStall
+	d.ScrubsOnWrite -= base.ScrubsOnWrite
+	d.ScrubsOnRefresh -= base.ScrubsOnRefresh
+	d.PatrolIssued -= base.PatrolIssued
+	d.ScrubFoundCorrected -= base.ScrubFoundCorrected
+	d.ScrubFoundUncorrectable -= base.ScrubFoundUncorrectable
+	d.SweepLines -= base.SweepLines
+	d.SweepCorrected -= base.SweepCorrected
+	d.SweepUncorrectable -= base.SweepUncorrectable
+	return d
+}
+
+// Finalize computes the derived rates from the counters.
+func (m *Metrics) Finalize() {
+	if m.ReadsChecked > 0 {
+		m.CorrectedPerBillionReads = float64(m.CorrectedReads) / float64(m.ReadsChecked) * 1e9
+		m.UncorrectablePerBillionReads = float64(m.UncorrectableReads) / float64(m.ReadsChecked) * 1e9
+	}
+	if m.LinesTracked > 0 {
+		m.ScrubCoverage = float64(m.LinesScrubbed) / float64(m.LinesTracked)
+	}
+}
+
+// Uncorrectable returns the run's total uncorrectable-error count over
+// every detection path (demand reads, scrub inspection, final sweep) —
+// the headline number the RRM-vs-static comparison is about.
+func (m Metrics) Uncorrectable() uint64 {
+	return m.UncorrectableReads + m.ScrubFoundUncorrectable + m.SweepUncorrectable
+}

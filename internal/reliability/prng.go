@@ -1,0 +1,64 @@
+package reliability
+
+import "math"
+
+// The fault injector needs per-line random streams that are (a) cheap
+// enough for the demand-read hot path, (b) allocation-free and (c)
+// independent of global sampling order, so counters stay deterministic
+// whatever order lines are inspected in. SplitMix64 fits: 64 bits of
+// state, one multiply-xor round per draw (same generator family as
+// internal/trace, duplicated here because both keep it unexported).
+
+// mix64 is the SplitMix64 output function: a bijective avalanche of x.
+func mix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// nextRand advances a SplitMix64 state in place and returns 64 bits.
+func nextRand(state *uint64) uint64 {
+	*state += 0x9E3779B97F4A7C15
+	return mix64(*state)
+}
+
+// unitFloat returns a uniform value in [0, 1) from the stream.
+func unitFloat(state *uint64) float64 {
+	return float64(nextRand(state)>>11) / (1 << 53)
+}
+
+// lineSeed derives the RNG state for one (line, write-generation) pair
+// from the run's reliability seed. Each rewrite gets a fresh stream, so
+// a line's error history never correlates across generations.
+func lineSeed(runSeed, addr, generation uint64) uint64 {
+	return mix64(runSeed ^ mix64(addr*0x9E3779B97F4A7C15) ^ generation*0xD1B54A32D192ED03)
+}
+
+// binomial samples Binomial(n, p) from the stream without allocating.
+// For the small probabilities of this model it uses geometric skipping
+// (O(successes) draws, not O(n)): successive failure runs have length
+// floor(log(U)/log(1-p)). Degenerate p values short-circuit.
+func binomial(state *uint64, n int, p float64) int {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	invLog := 1 / math.Log1p(-p)
+	successes := 0
+	// i walks 0-based trial indexes; each iteration consumes one uniform
+	// draw and lands on the next success.
+	i := -1
+	for {
+		u := unitFloat(state)
+		if u == 0 {
+			u = 0x1p-53 // avoid log(0); probability 2^-53 per draw
+		}
+		i += 1 + int(math.Log(u)*invLog)
+		if i >= n || i < 0 { // i < 0: skip overflowed int range
+			return successes
+		}
+		successes++
+	}
+}

@@ -21,14 +21,23 @@ var latencyBuckets = []float64{0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 // cache hits and the latency histogram come straight from the engine's
 // lifecycle events rather than a parallel server-side bookkeeping.
 type serverMetrics struct {
-	submitted  atomic.Uint64 // POST /api/v1/jobs accepted for processing
-	deduped    atomic.Uint64 // submissions answered by an existing job
-	rejected   atomic.Uint64 // submissions bounced with 429 (queue full)
-	done       atomic.Uint64
-	failed     atomic.Uint64
-	running    atomic.Int64 // gauge
-	cacheHits  atomic.Uint64
-	cacheMiss  atomic.Uint64
+	submitted atomic.Uint64 // POST /api/v1/jobs accepted for processing
+	deduped   atomic.Uint64 // submissions answered by an existing job
+	rejected  atomic.Uint64 // submissions bounced with 429 (queue full)
+	done      atomic.Uint64
+	failed    atomic.Uint64
+	running   atomic.Int64 // gauge
+	cacheHits atomic.Uint64
+	cacheMiss atomic.Uint64
+
+	// Reliability-model aggregates, summed over every finished job that
+	// ran with the fault model enabled (jobs without it contribute
+	// nothing — Metrics.Reliability is nil there).
+	relReadsChecked  atomic.Uint64
+	relCorrected     atomic.Uint64
+	relUncorrectable atomic.Uint64
+	relBitFlips      atomic.Uint64
+	relScrubs        atomic.Uint64
 
 	histMu    sync.Mutex
 	histCount []uint64 // per latencyBuckets bound, non-cumulative
@@ -56,6 +65,13 @@ func (m *serverMetrics) ObserveJob(ev engine.JobEvent) {
 				m.cacheMiss.Add(1)
 			}
 			m.observeLatency(ev.Result.Wall.Seconds())
+			if rel := ev.Result.Metrics.Reliability; rel != nil {
+				m.relReadsChecked.Add(rel.ReadsChecked)
+				m.relCorrected.Add(rel.CorrectedReads)
+				m.relUncorrectable.Add(rel.Uncorrectable())
+				m.relBitFlips.Add(rel.BitFlipsCorrected)
+				m.relScrubs.Add(rel.ScrubsOnWrite + rel.ScrubsOnRefresh + rel.PatrolIssued)
+			}
 		}
 	case engine.JobStateFailed:
 		m.running.Add(-1)
@@ -93,6 +109,11 @@ func (m *serverMetrics) render(w io.Writer, queueDepth, queueCap int, uptimeSeco
 	counter("rrmserve_jobs_failed_total", "Jobs finished with an error.", m.failed.Load())
 	counter("rrmserve_cache_hits_total", "Jobs satisfied from the disk run cache.", m.cacheHits.Load())
 	counter("rrmserve_cache_misses_total", "Jobs that had to simulate (run-cache misses).", m.cacheMiss.Load())
+	counter("rrmserve_reliability_reads_checked_total", "Demand reads inspected by the reliability model across finished jobs.", m.relReadsChecked.Load())
+	counter("rrmserve_reliability_corrected_reads_total", "Demand reads the ECC model corrected across finished jobs.", m.relCorrected.Load())
+	counter("rrmserve_reliability_uncorrectable_total", "Uncorrectable errors (reads, scrub inspections and final sweeps) across finished jobs.", m.relUncorrectable.Load())
+	counter("rrmserve_reliability_bit_flips_corrected_total", "Individual bit flips corrected by ECC across finished jobs.", m.relBitFlips.Load())
+	counter("rrmserve_reliability_scrubs_total", "Scrub events (demand writes, refreshes and patrol issues) across finished jobs.", m.relScrubs.Load())
 	gauge("rrmserve_jobs_running", "Jobs currently executing on the engine.", float64(m.running.Load()))
 	gauge("rrmserve_queue_depth", "Jobs waiting in the bounded queue.", float64(queueDepth))
 	gauge("rrmserve_queue_capacity", "Capacity of the bounded queue.", float64(queueCap))

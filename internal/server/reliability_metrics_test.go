@@ -1,0 +1,55 @@
+package server
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"rrmpcm/internal/reliability"
+	"rrmpcm/internal/sim"
+)
+
+// TestMetricsReliabilityCounters: jobs whose results carry a
+// reliability block feed the rrmserve_reliability_* counters; jobs
+// without one (Metrics.Reliability nil) contribute nothing and do not
+// crash the observer.
+func TestMetricsReliabilityCounters(t *testing.T) {
+	relSim := func(ctx context.Context, cfg sim.Config) (sim.Metrics, error) {
+		m, _ := instantSim(ctx, cfg)
+		if cfg.Seed == 1 { // one job with the fault model, one without
+			m.Reliability = &reliability.Metrics{
+				ReadsChecked: 1000, CleanReads: 990, CorrectedReads: 9,
+				UncorrectableReads: 1, BitFlipsCorrected: 12,
+				ScrubsOnWrite: 5, ScrubsOnRefresh: 3, PatrolIssued: 2,
+				SweepUncorrectable: 4,
+			}
+		}
+		return m, nil
+	}
+	_, ts := newTestServer(t, Options{Workers: 1, Sim: relSim})
+	for _, seed := range []uint64{1, 2} {
+		_, sr := postJob(t, ts, submitBody(seed))
+		waitState(t, ts, sr.ID)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(blob)
+	for _, want := range []string{
+		"rrmserve_reliability_reads_checked_total 1000",
+		"rrmserve_reliability_corrected_reads_total 9",
+		"rrmserve_reliability_uncorrectable_total 5", // 1 read + 4 sweep
+		"rrmserve_reliability_bit_flips_corrected_total 12",
+		"rrmserve_reliability_scrubs_total 10", // 5 write + 3 refresh + 2 patrol
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

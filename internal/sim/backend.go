@@ -218,6 +218,11 @@ func (b *backend) RecordWrite(addr uint64, mode pcm.WriteMode, kind pcm.WearKind
 	if b.sys.checker != nil {
 		b.sys.checker.onWrite(addr, mode, b.sys.eq.Now())
 	}
+	if b.sys.rel != nil {
+		// Every completed rewrite — demand write, RRM refresh, slow or
+		// patrol refresh — scrubs the line's accumulated error state.
+		b.sys.rel.OnWrite(addr, mode, kind, b.sys.eq.Now())
+	}
 }
 
 // RecordRead implements memctrl.Recorder.

@@ -30,6 +30,7 @@ import (
 	"rrmpcm/internal/core"
 	"rrmpcm/internal/memctrl"
 	"rrmpcm/internal/pcm"
+	"rrmpcm/internal/reliability"
 	"rrmpcm/internal/timing"
 	"rrmpcm/internal/trace"
 )
@@ -115,6 +116,11 @@ type Config struct {
 	// (always on in tests; cheap enough to leave on everywhere).
 	CheckRetention bool
 
+	// Reliability configures the drift-fault injection + ECC + scrub
+	// model (internal/reliability). Disabled by default: enabling it
+	// adds ECC correction stalls to the read path.
+	Reliability reliability.Config
+
 	// CoreROB / CoreMSHRs size the cores (Table IV defaults if zero).
 	CoreROB   int
 	CoreMSHRs int
@@ -142,6 +148,7 @@ func DefaultConfig(scheme Scheme, w trace.Workload) Config {
 		Seed:               1,
 		HitStallFactor:     0.35,
 		CheckRetention:     true,
+		Reliability:        reliability.DefaultConfig(),
 		EquivalentDuration: 5 * timing.Second,
 	}
 }
@@ -175,6 +182,9 @@ func (c Config) Validate() error {
 	}
 	if c.HitStallFactor < 0 || c.HitStallFactor > 1 {
 		return fmt.Errorf("sim: HitStallFactor %v out of [0,1]", c.HitStallFactor)
+	}
+	if err := c.Reliability.Validate(); err != nil {
+		return err
 	}
 	switch c.Scheme.Kind {
 	case SchemeStatic:
@@ -210,4 +220,39 @@ func (c Config) scaledRRM() core.RRMConfig {
 // scaledRetention returns mode's retention under the accelerated clock.
 func (c Config) scaledRetention(mode pcm.WriteMode) timing.Time {
 	return timing.Time(float64(pcm.Retention(mode)) / c.TimeScale)
+}
+
+// scaledPatrolInterval returns the patrol-scrub period under the
+// accelerated retention clock (patrol is clock-driven, like every
+// refresh mechanism).
+func (c Config) scaledPatrolInterval() timing.Time {
+	t := timing.Time(float64(c.Reliability.PatrolInterval) / c.TimeScale)
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// reliabilitySeed derives the run's dedicated reliability RNG stream
+// from the configuration identity (FNV-1a over the simulation-relevant
+// fields), so the fault injector never shares a stream with the trace
+// generators' core seeds and two different configs never replay each
+// other's error patterns.
+func (c Config) reliabilitySeed() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h = (h ^ uint64(s[i])) * prime64
+		}
+	}
+	mix(fmt.Sprintf("reliability|%s|%s|%d|%d|%d|%g|%d|%g|%v",
+		c.Scheme.Name(), c.Workload.Name, c.Seed,
+		int64(c.Duration), int64(c.Warmup), c.TimeScale,
+		c.Reliability.ECCBits, c.Reliability.ProgBitErrorProb,
+		c.Reliability.Patrol))
+	return h
 }

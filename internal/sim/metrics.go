@@ -3,6 +3,7 @@ package sim
 import (
 	"rrmpcm/internal/core"
 	"rrmpcm/internal/pcm"
+	"rrmpcm/internal/reliability"
 	"rrmpcm/internal/stats"
 	"rrmpcm/internal/timing"
 )
@@ -62,9 +63,26 @@ type Metrics struct {
 	HotBlocks         int
 	RefreshBacklogMax int
 
-	// Retention checking.
+	// Retention checking. RetentionViolations is the total deadline-miss
+	// count; RetentionDetail breaks it down by the action that exposed
+	// each expiry, under readable JSON keys (nil — omitted — for clean
+	// runs, which keeps older metrics documents and goldens unchanged).
 	RetentionViolations uint64
 	FirstViolation      string
+	RetentionDetail     *RetentionDetail `json:"retention_detail,omitempty"`
+
+	// Reliability is the drift-fault/ECC/scrub accounting of the
+	// measurement window (nil — omitted — when the model is disabled).
+	Reliability *reliability.Metrics `json:"reliability,omitempty"`
+}
+
+// RetentionDetail is the serializable deadline-violation breakdown.
+type RetentionDetail struct {
+	Total            uint64 `json:"total"`
+	ExpiredOnRead    uint64 `json:"expired_on_read"`
+	ExpiredOnRewrite uint64 `json:"expired_on_rewrite"`
+	ExpiredAtEnd     uint64 `json:"expired_at_end"`
+	First            string `json:"first,omitempty"`
 }
 
 // collect subtracts the warmup snapshot and converts to real rates.
@@ -180,6 +198,15 @@ func (s *System) collect(sn snapshot) Metrics {
 	if s.checker != nil {
 		m.RetentionViolations = s.checker.violations
 		m.FirstViolation = s.checker.firstViolation
+		m.RetentionDetail = s.checker.detail()
+	}
+
+	// Reliability: counter deltas over the measurement window, then the
+	// derived per-billion-read rates.
+	if s.rel != nil {
+		rel := s.rel.Metrics().Sub(sn.rel)
+		rel.Finalize()
+		m.Reliability = &rel
 	}
 	return m
 }

@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rrmpcm/internal/pcm"
+	"rrmpcm/internal/timing"
+	"rrmpcm/internal/trace"
+)
+
+// reliabilityGoldenConfig is the pinned quick configuration of the
+// reliability goldens. The retention clock runs at 6000x so the 3 ms
+// window spans an 18 s real horizon — deep enough past the 2.01 s Mode-3
+// deadline that Static-3 lines accumulate drift errors. Frozen like
+// goldenConfig: changing it invalidates the *-rel golden files.
+func reliabilityGoldenConfig(scheme Scheme, w trace.Workload) Config {
+	cfg := DefaultConfig(scheme, w)
+	cfg.Duration = 2500 * timing.Microsecond
+	cfg.Warmup = 500 * timing.Microsecond
+	cfg.TimeScale = 6000
+	cfg.Seed = 1
+	cfg.Reliability.Enabled = true
+	return cfg
+}
+
+// TestGoldenReliabilityMetrics pins full metrics JSON — including the
+// reliability block — for fixed-seed runs with the fault model enabled,
+// and cross-checks the headline ordering: RRM ends the run with strictly
+// fewer uncorrectable errors than Static-3. Regenerate deliberately with
+//
+//	go test ./internal/sim -run TestGoldenReliabilityMetrics -update
+func TestGoldenReliabilityMetrics(t *testing.T) {
+	cases := []struct {
+		name     string
+		scheme   Scheme
+		workload string
+	}{
+		{"static-3-GemsFDTD-rel", StaticScheme(pcm.Mode3SETs), "GemsFDTD"},
+		{"static-7-GemsFDTD-rel", StaticScheme(pcm.Mode7SETs), "GemsFDTD"},
+		{"rrm-GemsFDTD-rel", RRMScheme(), "GemsFDTD"},
+	}
+	uncorr := make(map[string]uint64, len(cases))
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			w, err := trace.WorkloadByName(tc.workload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys, err := New(reliabilityGoldenConfig(tc.scheme, w))
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := sys.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Reliability == nil {
+				t.Fatal("reliability enabled but Metrics.Reliability is nil")
+			}
+			uncorr[tc.name] = m.Reliability.Uncorrectable()
+			got, err := json.MarshalIndent(m, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+
+			path := filepath.Join("testdata", "golden", tc.name+".json")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("metrics diverged from %s\n%s", path, goldenDiff(want, got))
+			}
+		})
+	}
+	if uncorr["rrm-GemsFDTD-rel"] >= uncorr["static-3-GemsFDTD-rel"] {
+		t.Errorf("RRM uncorrectable errors (%d) not strictly below Static-3 (%d)",
+			uncorr["rrm-GemsFDTD-rel"], uncorr["static-3-GemsFDTD-rel"])
+	}
+}
+
+// TestReliabilityComparative is the acceptance run of the reliability
+// subsystem: a fixed-seed four-workload sweep across every scheme in
+// which RRM's uncorrectable-error count must be no worse than every
+// Static-N and strictly better than Static-3 — the paper's motivation
+// (performance without retention loss) restated as an error-rate claim.
+func TestReliabilityComparative(t *testing.T) {
+	if testing.Short() {
+		t.Skip("24 simulations; skipped in -short mode")
+	}
+	schemes := []Scheme{
+		RRMScheme(),
+		StaticScheme(pcm.Mode3SETs),
+		StaticScheme(pcm.Mode4SETs),
+		StaticScheme(pcm.Mode5SETs),
+		StaticScheme(pcm.Mode6SETs),
+		StaticScheme(pcm.Mode7SETs),
+	}
+	for _, wname := range []string{"GemsFDTD", "lbm", "mcf", "MIX_2"} {
+		wname := wname
+		t.Run(wname, func(t *testing.T) {
+			t.Parallel()
+			w, err := trace.WorkloadByName(wname)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make(map[string]uint64, len(schemes))
+			for _, s := range schemes {
+				sys, err := New(reliabilityGoldenConfig(s, w))
+				if err != nil {
+					t.Fatal(err)
+				}
+				m, err := sys.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if m.RetentionViolations != 0 {
+					t.Fatalf("%s: %d retention violations (%s)", s.Name(), m.RetentionViolations, m.FirstViolation)
+				}
+				if m.Reliability == nil {
+					t.Fatalf("%s: no reliability metrics", s.Name())
+				}
+				got[s.Name()] = m.Reliability.Uncorrectable()
+			}
+			rrm := got["RRM"]
+			for name, u := range got {
+				if name != "RRM" && rrm > u {
+					t.Errorf("RRM uncorrectable (%d) worse than %s (%d)", rrm, name, u)
+				}
+			}
+			if s3 := got["Static-3-SETs"]; rrm >= s3 {
+				t.Errorf("RRM uncorrectable (%d) not strictly below Static-3 (%d)", rrm, s3)
+			}
+			t.Logf("uncorrectable: rrm=%d s3=%d s4=%d s5=%d s6=%d s7=%d",
+				rrm, got["Static-3-SETs"], got["Static-4-SETs"], got["Static-5-SETs"],
+				got["Static-6-SETs"], got["Static-7-SETs"])
+		})
+	}
+}

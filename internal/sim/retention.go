@@ -27,6 +27,12 @@ type retentionChecker struct {
 	violations     uint64
 	firstViolation string
 
+	// Violation breakdown by the action that exposed the expiry, for
+	// the RetentionDetail metric.
+	expiredOnRead    uint64
+	expiredOnRewrite uint64
+	expiredAtEnd     uint64
+
 	// horizon bounds checking: once the run's measurement window ends,
 	// refresh issue stops, so expiries after the horizon are run
 	// truncation artifacts, not policy violations.
@@ -61,7 +67,7 @@ func newRetentionChecker(cfg Config) *retentionChecker {
 // subset — which the shared hash makes representative.
 func (rc *retentionChecker) onWrite(addr uint64, m pcm.WriteMode, now timing.Time) {
 	blk := addr &^ 63
-	rc.checkLive(blk, now, "rewritten")
+	rc.checkLive(blk, now, "rewritten", &rc.expiredOnRewrite)
 	if m >= rc.longMode {
 		// Long-retention data: global refresh territory.
 		delete(rc.deadline, blk)
@@ -75,16 +81,17 @@ func (rc *retentionChecker) onWrite(addr uint64, m pcm.WriteMode, now timing.Tim
 
 // onRead verifies a read does not observe expired data.
 func (rc *retentionChecker) onRead(addr uint64, now timing.Time) {
-	rc.checkLive(addr&^63, now, "read")
+	rc.checkLive(addr&^63, now, "read", &rc.expiredOnRead)
 }
 
 // checkLive flags a violation if blk's short-retention deadline passed.
-func (rc *retentionChecker) checkLive(blk uint64, now timing.Time, action string) {
+func (rc *retentionChecker) checkLive(blk uint64, now timing.Time, action string, counter *uint64) {
 	d, ok := rc.deadline[blk]
 	if !ok || now <= d || d >= rc.horizon {
 		return
 	}
 	rc.violations++
+	*counter++
 	if rc.firstViolation == "" {
 		rc.firstViolation = fmt.Sprintf("block %#x %s at %v, %v past its retention deadline",
 			blk, action, now, now-d)
@@ -98,9 +105,26 @@ func (rc *retentionChecker) finish(now timing.Time) {
 	for blk, d := range rc.deadline {
 		if now > d && d < rc.horizon {
 			rc.violations++
+			rc.expiredAtEnd++
 			if rc.firstViolation == "" {
 				rc.firstViolation = fmt.Sprintf("block %#x expired unrefreshed at simulation end", blk)
 			}
 		}
+	}
+}
+
+// detail returns the serializable violation breakdown, nil when the run
+// was clean (so clean runs' metrics JSON — and every existing golden
+// file — is unchanged).
+func (rc *retentionChecker) detail() *RetentionDetail {
+	if rc.violations == 0 {
+		return nil
+	}
+	return &RetentionDetail{
+		Total:            rc.violations,
+		ExpiredOnRead:    rc.expiredOnRead,
+		ExpiredOnRewrite: rc.expiredOnRewrite,
+		ExpiredAtEnd:     rc.expiredAtEnd,
+		First:            rc.firstViolation,
 	}
 }

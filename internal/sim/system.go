@@ -9,6 +9,7 @@ import (
 	"rrmpcm/internal/cpu"
 	"rrmpcm/internal/memctrl"
 	"rrmpcm/internal/pcm"
+	"rrmpcm/internal/reliability"
 	"rrmpcm/internal/timing"
 	"rrmpcm/internal/trace"
 )
@@ -28,6 +29,7 @@ type System struct {
 	cores   []*cpu.Core
 	backend *backend
 	checker *retentionChecker
+	rel     *reliability.Engine // nil when the reliability model is off
 }
 
 // New assembles the system described by cfg.
@@ -80,6 +82,14 @@ func New(cfg Config) (*System, error) {
 		// The checker tracks exactly the blocks whose refreshes the
 		// policy actually simulates (see core.SampledBlock).
 		s.checker.sampling = s.refreshSampling()
+	}
+	if cfg.Reliability.Enabled {
+		// The fault injector shares the checker's sampled-subset rule
+		// and gets its own config-derived RNG stream (never the trace
+		// generators' core seeds).
+		s.rel = reliability.New(cfg.Reliability, pcm.DefaultDriftTable(),
+			cfg.TimeScale, s.refreshSampling(), cfg.reliabilitySeed())
+		s.ctl.SetReadIntegrity(s.rel)
 	}
 
 	span := cfg.Device.MemBytes / uint64(len(cfg.Workload.Cores))
@@ -141,6 +151,9 @@ func (s *System) RunContext(ctx context.Context) (Metrics, error) {
 	if cust, ok := s.policy.(interface{ Start(*timing.EventQueue) }); ok && s.cfg.Scheme.Kind == SchemeCustom {
 		cust.Start(s.eq)
 	}
+	if s.rel != nil && s.cfg.Reliability.Patrol {
+		s.startPatrol()
+	}
 
 	if err := s.runUntil(ctx, s.cfg.Warmup); err != nil {
 		return Metrics{}, err
@@ -171,7 +184,33 @@ func (s *System) RunContext(ctx context.Context) (Metrics, error) {
 	if s.checker != nil {
 		s.checker.finish(s.eq.Now())
 	}
+	if s.rel != nil {
+		// Classify lines the workload never re-read. Ages are measured
+		// at the window end: rewrites that completed during the drain
+		// are in the future of `end` and read as age zero.
+		s.rel.Finish(end)
+	}
 	return s.collect(snap), nil
+}
+
+// startPatrol arms the periodic background patrol scrub: every scaled
+// PatrolInterval it asks the reliability engine for the next batch of
+// tracked lines and rewrites them through the controller's refresh path
+// (clock-driven work, accounted like slow refresh).
+func (s *System) startPatrol() {
+	interval := s.cfg.scaledPatrolInterval()
+	issue := func(addr uint64, mode pcm.WriteMode) {
+		s.backend.IssueRefresh(addr, mode, pcm.WearSlowRefresh)
+	}
+	var tick func(now timing.Time)
+	tick = func(now timing.Time) {
+		if s.backend.stopped {
+			return // measurement over: the drain must not add work
+		}
+		s.rel.Patrol(issue)
+		s.eq.Schedule(now+interval, tick)
+	}
+	s.eq.Schedule(s.eq.Now()+interval, tick)
 }
 
 // runUntil advances the event queue to t in millisecond slices, checking
@@ -203,6 +242,7 @@ type snapshot struct {
 	energyW   [4]float64
 	energyR   float64
 	rrm       core.Stats
+	rel       reliability.Metrics
 }
 
 func (s *System) snapshot() snapshot {
@@ -228,6 +268,9 @@ func (s *System) snapshot() snapshot {
 	sn.energyR = s.energy.ReadEnergy()
 	if s.rrm != nil {
 		sn.rrm = s.rrm.Stats()
+	}
+	if s.rel != nil {
+		sn.rel = s.rel.Metrics()
 	}
 	return sn
 }

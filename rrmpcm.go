@@ -41,6 +41,7 @@ import (
 	"rrmpcm/internal/experiments"
 	"rrmpcm/internal/memctrl"
 	"rrmpcm/internal/pcm"
+	"rrmpcm/internal/reliability"
 	"rrmpcm/internal/sim"
 	"rrmpcm/internal/stats"
 	"rrmpcm/internal/timing"
@@ -175,6 +176,20 @@ func RRMSchemeWith(cfg RRMConfig) Scheme {
 func CustomScheme(p WritePolicy) Scheme {
 	return Scheme{Kind: sim.SchemeCustom, Custom: p}
 }
+
+// ReliabilityConfig parameterizes the drift-fault injector, the t-bit
+// ECC model and the scrubber (Config.Reliability; disabled by default).
+type ReliabilityConfig = reliability.Config
+
+// DefaultReliabilityConfig returns the reference reliability model —
+// 4-bit-correcting ECC per 64 B line, 1e-5 programming bit-error rate,
+// 25 ns correction stall — with Enabled still false; set
+// Config.Reliability = cfg with cfg.Enabled = true to turn it on.
+func DefaultReliabilityConfig() ReliabilityConfig { return reliability.DefaultConfig() }
+
+// ReliabilityMetrics is the error-injection/ECC/scrubbing section of
+// Metrics (Metrics.Reliability, non-nil only when the model ran).
+type ReliabilityMetrics = reliability.Metrics
 
 // DefaultConfig returns the Tables IV/V system around a scheme and
 // workload, with fast-run simulation settings (40 ms measured window,

@@ -11,7 +11,7 @@ cd "$(dirname "$0")/.."
 
 OUT=${1:-BENCH_3.json}
 BASELINE=scripts/bench_baseline_3.json
-BENCH='^(BenchmarkTraceGenerator|BenchmarkCacheHierarchyAccess|BenchmarkMemoryController|BenchmarkFullSystemSimulation)$'
+BENCH='^(BenchmarkTraceGenerator|BenchmarkCacheHierarchyAccess|BenchmarkMemoryController|BenchmarkFullSystemSimulation|BenchmarkReliabilitySimulation)$'
 
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
