@@ -8,9 +8,15 @@
 #          sim/trace paths its workers execute concurrently)
 #   bench  paper-artifact benchmarks (quick windows)
 #   bench-json
-#          hot-path component benchmarks -> BENCH_3.json (ns/op, B/op,
+#          hot-path component benchmarks -> BENCH_5.json (ns/op, B/op,
 #          allocs/op per benchmark, diffed against the recorded
-#          pre-optimization baseline)
+#          pre-optimization baseline; includes the cold/warm sweep pair)
+#   bench-check
+#          CI perf gate: re-run the tracked benchmarks and fail on a
+#          >10% ns/op or any allocs/op regression vs BENCH_5.json
+#   profile
+#          CPU+heap profile of a representative experiment pass
+#          (cpu.prof / mem.prof; inspect with `go tool pprof`)
 #   ci     build + vet + test + race
 #
 # serve-smoke boots rrmserve on a scratch port, pushes one quick job
@@ -19,7 +25,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench bench-json ci serve-smoke
+.PHONY: build vet test race bench bench-json bench-check profile ci serve-smoke
 
 build:
 	$(GO) build ./...
@@ -37,7 +43,15 @@ bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
 bench-json:
-	GO="$(GO)" ./scripts/bench_json.sh BENCH_3.json
+	GO="$(GO)" ./scripts/bench_json.sh BENCH_5.json
+
+bench-check:
+	GO="$(GO)" ./scripts/bench_check.sh
+
+profile:
+	$(GO) run ./cmd/experiments -quick -run table7 -warm-start \
+		-cpuprofile cpu.prof -memprofile mem.prof -o /dev/null
+	@echo "wrote cpu.prof / mem.prof; inspect with: $(GO) tool pprof cpu.prof"
 
 serve-smoke:
 	./scripts/serve_smoke.sh

@@ -13,10 +13,12 @@ package rrmpcm
 // touching the matrix pays for it and the rest measure table assembly.
 
 import (
+	"context"
 	"sync"
 	"testing"
 
 	"rrmpcm/internal/cache"
+	"rrmpcm/internal/engine"
 	"rrmpcm/internal/experiments"
 	"rrmpcm/internal/memctrl"
 	"rrmpcm/internal/pcm"
@@ -124,6 +126,62 @@ func benchEngineBatch(b *testing.B, parallel int) {
 
 func BenchmarkEngineBatchSequential(b *testing.B) { benchEngineBatch(b, 1) }
 func BenchmarkEngineBatchParallel(b *testing.B)   { benchEngineBatch(b, 0) }
+
+// --- warm-start benchmarks: shared warmup across a sweep ---
+
+// warmSweepConfigs is the warm-start benchmark's sweep: four measurement
+// windows over one shared, deliberately warmup-heavy prefix (3 ms warmup
+// against 0.5-1.25 ms windows). Cold-started, the sweep simulates the
+// warmup four times (15.5 ms of simulated time); warm-started it
+// simulates it once (6.5 ms), so the sweep-level speedup bound is ~2.4x.
+func warmSweepConfigs(b *testing.B) []Config {
+	b.Helper()
+	w, err := WorkloadByName("GemsFDTD")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cfgs []Config
+	for _, d := range []Time{500, 750, 1000, 1250} {
+		cfg := DefaultConfig(RRMScheme(), w)
+		cfg.Warmup = 3 * Millisecond
+		cfg.Duration = d * Microsecond
+		cfg.TimeScale = 500
+		cfgs = append(cfgs, cfg)
+	}
+	return cfgs
+}
+
+// BenchmarkColdStartSweep runs the sweep with a full warmup per config —
+// the baseline BenchmarkWarmStartSweep is compared against.
+func BenchmarkColdStartSweep(b *testing.B) {
+	cfgs := warmSweepConfigs(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, cfg := range cfgs {
+			if _, err := engine.RunSim(context.Background(), cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkWarmStartSweep runs the same sweep through the warm-start
+// layer with a fresh snapshot store per iteration: the first config pays
+// for the warmup and snapshots it, the other three fork. Results are
+// bit-identical to the cold sweep (engine's warm-start tests); only the
+// wall clock moves.
+func BenchmarkWarmStartSweep(b *testing.B) {
+	cfgs := warmSweepConfigs(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		warm := engine.WarmRunSim(engine.NewMemSnapshotStore())
+		for _, cfg := range cfgs {
+			if _, err := warm(context.Background(), cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
 
 // --- component micro-benchmarks: simulator throughput itself ---
 

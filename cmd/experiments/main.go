@@ -4,6 +4,7 @@
 //
 //	experiments [-quick] [-seed N] [-run id[,id...]] [-list] [-o file]
 //	            [-parallel N] [-cache-dir dir] [-job-timeout d]
+//	            [-warm-start] [-cpuprofile file] [-memprofile file]
 //
 // Without -run, the whole suite executes in DESIGN.md order. Experiment
 // ids are table1, fig2, fig3, fig4, table3, table7, fig7..fig13, table8
@@ -16,6 +17,12 @@
 // With -cache-dir, finished runs persist to disk keyed by config hash,
 // so a repeated or interrupted pass reloads them instead of
 // re-simulating. Ctrl-C cancels in-flight simulations cleanly.
+//
+// -warm-start shares simulation warmup across runs whose configs differ
+// only in post-warmup knobs (one run simulates the warmup, the others
+// fork from its snapshot); results are bit-identical either way. With
+// -cache-dir, warm snapshots persist under <cache-dir>/snapshots.
+// -cpuprofile and -memprofile write pprof profiles of the pass.
 package main
 
 import (
@@ -30,6 +37,7 @@ import (
 
 	"rrmpcm/internal/buildinfo"
 	"rrmpcm/internal/experiments"
+	"rrmpcm/internal/profiling"
 )
 
 func main() {
@@ -41,7 +49,10 @@ func main() {
 	verbose := flag.Bool("v", true, "print per-run progress")
 	parallel := flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	cacheDir := flag.String("cache-dir", "", "disk-backed run cache directory (empty = memory only)")
+	warmStart := flag.Bool("warm-start", false, "share simulation warmup across runs with equal warm prefixes")
 	jobTimeout := flag.Duration("job-timeout", 0, "per-simulation wall-clock budget (0 = none)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the pass to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
 
@@ -85,11 +96,21 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile, func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
+
 	opt := experiments.Options{
 		Quick:      *quick,
 		Seed:       *seed,
 		Parallel:   *parallel,
 		CacheDir:   *cacheDir,
+		WarmStart:  *warmStart,
 		JobTimeout: *jobTimeout,
 		Context:    ctx,
 	}

@@ -5,8 +5,8 @@
 // Usage:
 //
 //	rrmserve [-addr :8321] [-queue 64] [-workers N] [-cache-dir dir]
-//	         [-job-timeout d] [-request-timeout 30s] [-drain-timeout 30s]
-//	         [-version]
+//	         [-warm-start] [-pprof] [-job-timeout d] [-request-timeout 30s]
+//	         [-drain-timeout 30s] [-version]
 //
 // Endpoints:
 //
@@ -20,6 +20,11 @@
 //	GET  /api/v1/schemes           submittable schemes
 //	GET  /metrics                  Prometheus text exposition
 //	GET  /healthz                  liveness + build info
+//	GET  /debug/pprof/             Go profiling endpoints (with -pprof only)
+//
+// -warm-start shares simulation warmup across jobs whose configs differ
+// only in post-warmup knobs; with -cache-dir, warm snapshots persist
+// under <cache-dir>/snapshots. Results are bit-identical either way.
 //
 // SIGINT/SIGTERM triggers a graceful drain: intake stops (503), queued
 // and running jobs finish, and only after -drain-timeout are in-flight
@@ -33,6 +38,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -47,6 +53,8 @@ func main() {
 	queue := flag.Int("queue", 64, "job queue capacity (submissions beyond it get 429)")
 	workers := flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	cacheDir := flag.String("cache-dir", "", "disk-backed run cache directory (empty = no cache)")
+	warmStart := flag.Bool("warm-start", false, "share simulation warmup across jobs with equal warm prefixes")
+	pprofOn := flag.Bool("pprof", false, "expose Go profiling endpoints under /debug/pprof/")
 	jobTimeout := flag.Duration("job-timeout", 0, "per-simulation wall-clock budget (0 = none)")
 	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "non-streaming request timeout")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "shutdown drain budget before in-flight jobs are cancelled")
@@ -64,12 +72,26 @@ func main() {
 		CacheDir:       *cacheDir,
 		JobTimeout:     *jobTimeout,
 		RequestTimeout: *reqTimeout,
+		WarmStart:      *warmStart,
 	})
 	if err != nil {
 		log.Fatalf("rrmserve: %v", err)
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pprofOn {
+		// The profiling endpoints sit on an outer mux so the service's
+		// own routing (and its request timeouts) never sees them.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	errCh := make(chan error, 1)
 	go func() {
 		log.Printf("rrmserve %s listening on %s (queue %d, cache %q)",

@@ -6,9 +6,10 @@
 //	rrmsim [-scheme rrm|static-3|...|static-7] [-workload GemsFDTD[,mcf,...]|all]
 //	       [-duration 40ms] [-warmup 10ms] [-timescale 100]
 //	       [-hot-threshold 16] [-coverage 4] [-region-kb 4] [-seed 1]
-//	       [-parallel N] [-cache-dir dir] [-json]
+//	       [-parallel N] [-cache-dir dir] [-warm-start] [-json]
 //	       [-reliability] [-ecc-t 4] [-prog-ber 1e-5] [-ecc-latency 25ns]
 //	       [-patrol] [-patrol-interval 100ms] [-patrol-batch 64]
+//	       [-cpuprofile file] [-memprofile file]
 //
 // -reliability turns on the drift-fault injector, the t-bit ECC model
 // and the scrubber; the report gains a Reliability section and the JSON
@@ -20,6 +21,12 @@
 // workloads were named regardless of completion order. With -cache-dir,
 // finished runs persist to disk keyed by config hash and later
 // invocations reload them instead of re-simulating.
+//
+// -warm-start shares simulation warmup across the batch's runs where
+// their configs differ only in post-warmup knobs; results are
+// bit-identical either way. With -cache-dir, warm snapshots persist
+// under <cache-dir>/snapshots and later invocations fork from them.
+// -cpuprofile and -memprofile write pprof profiles of the whole batch.
 //
 // Examples:
 //
@@ -36,6 +43,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -44,6 +52,7 @@ import (
 	"rrmpcm/internal/buildinfo"
 	"rrmpcm/internal/engine"
 	"rrmpcm/internal/experiments"
+	"rrmpcm/internal/profiling"
 	"rrmpcm/internal/stats"
 )
 
@@ -59,6 +68,9 @@ func main() {
 	seed := flag.Uint64("seed", 1, "workload seed")
 	parallel := flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	cacheDir := flag.String("cache-dir", "", "disk-backed run cache directory (empty = no cache)")
+	warmStart := flag.Bool("warm-start", false, "share simulation warmup across runs with equal warm prefixes")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the batch to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	reliabilityOn := flag.Bool("reliability", false, "enable the drift-fault/ECC/scrubbing model")
 	eccT := flag.Int("ecc-t", rrmpcm.DefaultReliabilityConfig().ECCBits, "ECC correction strength in bits per 64B line (with -reliability)")
 	progBER := flag.Float64("prog-ber", rrmpcm.DefaultReliabilityConfig().ProgBitErrorProb, "programming bit-error probability (with -reliability)")
@@ -138,11 +150,30 @@ func main() {
 		}
 		eopt.Cache = c
 	}
+	if *warmStart {
+		var store engine.SnapshotStore = engine.NewMemSnapshotStore()
+		if *cacheDir != "" {
+			c, err := engine.OpenSnapshotCache(filepath.Join(*cacheDir, "snapshots"))
+			if err != nil {
+				fatal(err)
+			}
+			store = c
+		}
+		eopt.Sim = engine.WarmRunSim(store)
+	}
+
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile, func(err error) {
+		fmt.Fprintln(os.Stderr, "rrmsim:", err)
+	})
+	if err != nil {
+		fatal(err)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	start := time.Now()
 	results, _ := engine.New(eopt).Run(ctx, jobs)
+	stopProfiles()
 
 	failed := false
 	for i, res := range results {

@@ -1,0 +1,95 @@
+package cache
+
+import "rrmpcm/internal/snapshot"
+
+const (
+	snapLevelSection = 0x4341 // "CA"
+	snapHierSection  = 0x4348 // "CH"
+)
+
+// Snapshot writes one level's complete tag/dirty/LRU state. Line flags
+// pack into one byte; tags and LRU stamps are fixed-width, so a given
+// cache state always encodes to the same bytes.
+func (c *Cache) Snapshot(w *snapshot.Writer) {
+	w.Section(snapLevelSection)
+	w.U64(c.useClock)
+	w.U64(c.stats.Accesses)
+	w.U64(c.stats.Hits)
+	w.U64(c.stats.Misses)
+	w.U64(c.stats.Evictions)
+	w.U64(c.stats.Writebacks)
+	w.U32(uint32(len(c.sets)))
+	w.U32(uint32(c.cfg.Ways))
+	for set := range c.sets {
+		for i := range c.sets[set] {
+			l := &c.sets[set][i]
+			var flags uint8
+			if l.valid {
+				flags |= 1
+			}
+			if l.dirty {
+				flags |= 2
+			}
+			w.U8(flags)
+			w.U64(l.tag)
+			w.U64(l.lastUse)
+		}
+	}
+}
+
+// Restore loads state written by Snapshot into a same-geometry level.
+func (c *Cache) Restore(r *snapshot.Reader) {
+	r.Section(snapLevelSection)
+	c.useClock = r.U64()
+	c.stats.Accesses = r.U64()
+	c.stats.Hits = r.U64()
+	c.stats.Misses = r.U64()
+	c.stats.Evictions = r.U64()
+	c.stats.Writebacks = r.U64()
+	if sets := r.U32(); r.Err() == nil && int(sets) != len(c.sets) {
+		r.Fail("cache %s: snapshot has %d sets, live cache %d", c.cfg.Name, sets, len(c.sets))
+		return
+	}
+	if ways := r.U32(); r.Err() == nil && int(ways) != c.cfg.Ways {
+		r.Fail("cache %s: snapshot has %d ways, live cache %d", c.cfg.Name, ways, c.cfg.Ways)
+		return
+	}
+	for set := range c.sets {
+		for i := range c.sets[set] {
+			l := &c.sets[set][i]
+			flags := r.U8()
+			l.valid = flags&1 != 0
+			l.dirty = flags&2 != 0
+			l.tag = r.U64()
+			l.lastUse = r.U64()
+			if r.Err() != nil {
+				return
+			}
+		}
+	}
+}
+
+// Snapshot writes the whole hierarchy: every level plus the retired
+// instruction counter.
+func (h *Hierarchy) Snapshot(w *snapshot.Writer) {
+	w.Section(snapHierSection)
+	w.U64(h.insts)
+	for core := 0; core < h.cfg.Cores; core++ {
+		h.l1d[core].Snapshot(w)
+		h.l1i[core].Snapshot(w)
+		h.l2[core].Snapshot(w)
+	}
+	h.llc.Snapshot(w)
+}
+
+// Restore loads hierarchy state into a same-configuration hierarchy.
+func (h *Hierarchy) Restore(r *snapshot.Reader) {
+	r.Section(snapHierSection)
+	h.insts = r.U64()
+	for core := 0; core < h.cfg.Cores; core++ {
+		h.l1d[core].Restore(r)
+		h.l1i[core].Restore(r)
+		h.l2[core].Restore(r)
+	}
+	h.llc.Restore(r)
+}

@@ -162,6 +162,14 @@ type entry struct {
 	hotGen       int // promotion generation; ends on demote/evict
 	shortVec     [vectorWords]uint64
 	lastUse      uint64 // LRU timestamp
+
+	// Live refresh-timer descriptor (snapshot bookkeeping): the pending
+	// event of the current promotion generation's timer. Valid only
+	// while timerGen == hotGen — reallocation or re-promotion leaves a
+	// dead timer pending whose fields no longer match.
+	timerAt  timing.Time
+	timerSeq int64
+	timerGen int
 }
 
 // vecBit tests, sets and clears short-retention vector bits.
@@ -219,6 +227,11 @@ type RRM struct {
 
 	// eq is set by Start; per-entry refresh timers schedule on it.
 	eq *timing.EventQueue
+
+	// Pending decay-tick descriptor (snapshot bookkeeping).
+	decayAt  timing.Time
+	decaySeq int64
+	decayFn  func(timing.Time) // bound once; re-schedules itself
 }
 
 // NewRRM builds the monitor. The issuer receives the selective refresh
@@ -456,6 +469,17 @@ func (r *RRM) armEntryTimer(e *entry) {
 	if r.eq == nil {
 		return // not attached to a simulation; FastRefreshTick drives refreshes
 	}
+	// Small deterministic jitter so simultaneous promotions (e.g. at
+	// program phase changes) do not fire in lockstep forever. Firing
+	// early never violates a deadline.
+	jitter := timing.Time((e.tag * 0x9E3779B97F4A7C15) % uint64(r.cfg.FastRefreshInterval/64+1))
+	r.scheduleEntryTimer(e, r.eq.Now()+r.cfg.FastRefreshInterval-jitter)
+}
+
+// scheduleEntryTimer arms e's refresh timer at the given time, binding
+// it to the entry's current (tag, generation) and recording the event
+// descriptor on the entry so snapshots can re-create it.
+func (r *RRM) scheduleEntryTimer(e *entry, at timing.Time) {
 	tag, gen := e.tag, e.hotGen
 	var fire func(now timing.Time)
 	fire = func(now timing.Time) {
@@ -463,13 +487,13 @@ func (r *RRM) armEntryTimer(e *entry) {
 			return
 		}
 		r.refreshEntryBlocks(e)
-		r.eq.Schedule(now+r.cfg.FastRefreshInterval, fire)
+		next := now + r.cfg.FastRefreshInterval
+		e.timerAt = next
+		e.timerSeq = r.eq.Schedule(next, fire).Seq()
 	}
-	// Small deterministic jitter so simultaneous promotions (e.g. at
-	// program phase changes) do not fire in lockstep forever. Firing
-	// early never violates a deadline.
-	jitter := timing.Time((tag * 0x9E3779B97F4A7C15) % uint64(r.cfg.FastRefreshInterval/64+1))
-	r.eq.Schedule(r.eq.Now()+r.cfg.FastRefreshInterval-jitter, fire)
+	e.timerGen = gen
+	e.timerAt = at
+	e.timerSeq = r.eq.Schedule(at, fire).Seq()
 }
 
 // DecayTick advances every entry's cyclic decay counter (paper §IV-G,
@@ -514,12 +538,20 @@ func (r *RRM) Start(eq *timing.EventQueue) {
 			}
 		}
 	}
-	var decay func(now timing.Time)
-	decay = func(now timing.Time) {
-		r.DecayTick(now)
-		eq.Schedule(now+r.cfg.DecayInterval, decay)
+	r.armDecay(eq.Now() + r.cfg.DecayInterval)
+}
+
+// armDecay schedules the periodic decay tick at the given time,
+// recording the event descriptor for snapshots.
+func (r *RRM) armDecay(at timing.Time) {
+	if r.decayFn == nil {
+		r.decayFn = func(now timing.Time) {
+			r.DecayTick(now)
+			r.armDecay(now + r.cfg.DecayInterval)
+		}
 	}
-	eq.Schedule(eq.Now()+r.cfg.DecayInterval, decay)
+	r.decayAt = at
+	r.decaySeq = r.eq.Schedule(at, r.decayFn).Seq()
 }
 
 // HotEntries returns the current number of hot entries and tracked

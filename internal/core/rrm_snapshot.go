@@ -1,0 +1,116 @@
+package core
+
+import (
+	"rrmpcm/internal/snapshot"
+	"rrmpcm/internal/timing"
+)
+
+const snapSection = 0x5252 // "RR"
+
+// Snapshot writes the monitor's full table plus the pending-event
+// descriptors of the decay tick and every live per-entry refresh timer.
+// A hot entry's timer is live exactly when its recorded generation
+// matches the current promotion generation; dead timers (stale
+// generations still sitting in the queue) are no-ops and do not travel.
+func (r *RRM) Snapshot(w *snapshot.Writer) error {
+	w.Section(snapSection)
+	w.U64(r.useClock)
+	w.U32(uint32(len(r.sets)))
+	w.U32(uint32(r.cfg.Ways))
+	for s := range r.sets {
+		for i := range r.sets[s] {
+			e := &r.sets[s][i]
+			var flags uint8
+			if e.valid {
+				flags |= 1
+			}
+			if e.hot {
+				flags |= 2
+			}
+			if e.valid && e.hot && e.timerGen == e.hotGen && r.eq != nil {
+				flags |= 4 // live refresh timer
+			}
+			w.U8(flags)
+			if !e.valid {
+				continue
+			}
+			w.U64(e.tag)
+			w.U32(uint32(e.dirtyWrites))
+			w.U32(uint32(e.decayCounter))
+			w.I64(int64(e.hotGen))
+			for _, v := range e.shortVec {
+				w.U64(v)
+			}
+			w.U64(e.lastUse)
+			if flags&4 != 0 {
+				w.I64(int64(e.timerAt))
+				w.I64(e.timerSeq)
+			}
+		}
+	}
+	w.I64(int64(r.decayAt))
+	w.I64(r.decaySeq)
+	return w.JSON(r.stats)
+}
+
+// Restore loads state written by Snapshot into a same-geometry monitor,
+// attaches it to eq, and appends the decay tick and every live entry
+// timer to pend for re-scheduling.
+func (r *RRM) Restore(rd *snapshot.Reader, eq *timing.EventQueue, pend *[]timing.Pending) {
+	rd.Section(snapSection)
+	r.eq = eq
+	r.useClock = rd.U64()
+	if n := rd.U32(); rd.Err() == nil && int(n) != len(r.sets) {
+		rd.Fail("rrm: snapshot has %d sets, live monitor %d", n, len(r.sets))
+		return
+	}
+	if n := rd.U32(); rd.Err() == nil && int(n) != r.cfg.Ways {
+		rd.Fail("rrm: snapshot has %d ways, live monitor %d", n, r.cfg.Ways)
+		return
+	}
+	for s := range r.sets {
+		for i := range r.sets[s] {
+			e := &r.sets[s][i]
+			flags := rd.U8()
+			if rd.Err() != nil {
+				return
+			}
+			if flags&1 == 0 {
+				*e = entry{}
+				continue
+			}
+			e.valid = true
+			e.hot = flags&2 != 0
+			e.tag = rd.U64()
+			e.dirtyWrites = int(rd.U32())
+			e.decayCounter = int(rd.U32())
+			e.hotGen = int(rd.I64())
+			for v := range e.shortVec {
+				e.shortVec[v] = rd.U64()
+			}
+			e.lastUse = rd.U64()
+			e.timerAt, e.timerSeq, e.timerGen = 0, 0, e.hotGen-1
+			if flags&4 != 0 {
+				at := timing.Time(rd.I64())
+				seq := rd.I64()
+				if rd.Err() != nil {
+					return
+				}
+				ee := e
+				*pend = append(*pend, timing.Pending{At: at, Seq: seq, Arm: func() {
+					r.scheduleEntryTimer(ee, at)
+				}})
+			}
+		}
+	}
+	r.decayAt = timing.Time(rd.I64())
+	decaySeq := rd.I64()
+	r.stats = Stats{}
+	rd.JSON(&r.stats)
+	if rd.Err() == nil {
+		at := r.decayAt
+		*pend = append(*pend, timing.Pending{At: at, Seq: decaySeq, Arm: func() {
+			r.armDecay(at)
+		}})
+	}
+}

@@ -34,9 +34,11 @@ type AccessReply struct {
 // always accept the operation: backpressure is expressed via Throttle
 // plus the core's resume callback, never by rejection (so the core never
 // needs to replay an operation whose cache side effects already
-// happened).
+// happened). instNum is the issuing instruction's commit number: with
+// (core, store, instNum) a state snapshot can rebuild the done callback
+// of an in-flight miss via MissCallback.
 type Backend interface {
-	Access(core int, addr uint64, store bool, now timing.Time, done func(timing.Time)) AccessReply
+	Access(core int, addr uint64, store bool, instNum uint64, now timing.Time, done func(timing.Time)) AccessReply
 }
 
 // Config sizes one core.
@@ -104,6 +106,8 @@ type Core struct {
 	throttled     bool
 	stopAt        timing.Time
 	stepArmed     bool
+	stepAt        timing.Time // when the armed step fires (snapshot bookkeeping)
+	stepSeq       int64       // its event sequence number
 
 	stepFn  func(timing.Time) // bound once: step (avoids a closure per arm)
 	tokFree []*missToken      // recycled miss-completion tokens
@@ -210,8 +214,22 @@ func (c *Core) armStep(at timing.Time) {
 	if c.stepArmed {
 		return
 	}
+	c.scheduleStep(timing.Max(at, c.eq.Now()))
+}
+
+// scheduleStep unconditionally arms a step at the given time, recording
+// (at, seq) so a snapshot can re-create the pending event on restore.
+func (c *Core) scheduleStep(at timing.Time) {
 	c.stepArmed = true
-	c.eq.Schedule(timing.Max(at, c.eq.Now()), c.stepFn)
+	c.stepAt = at
+	c.stepSeq = c.eq.Schedule(at, c.stepFn).Seq()
+}
+
+// MissCallback mints the completion callback of an outstanding miss
+// identified by (store, instNum): the exact closure Access handed to
+// the backend when the miss issued, reconstructed during restore.
+func (c *Core) MissCallback(store bool, instNum uint64) func(timing.Time) {
+	return c.acquireToken(store, instNum).fn
 }
 
 // blocked reports whether the core cannot issue and must wait for a
@@ -265,7 +283,7 @@ func (c *Core) step(now timing.Time) {
 		instNum := c.stats.Instructions
 		store := op.Store
 		tok := c.acquireToken(store, instNum)
-		reply := c.be.Access(c.cfg.ID, op.Addr, store, c.localTime, tok.fn)
+		reply := c.be.Access(c.cfg.ID, op.Addr, store, instNum, c.localTime, tok.fn)
 		c.localTime += reply.Stall
 		if reply.Pending {
 			if store {

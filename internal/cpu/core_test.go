@@ -23,7 +23,7 @@ type fakeBackend struct {
 	stores   int
 }
 
-func (f *fakeBackend) Access(core int, addr uint64, store bool, now timing.Time, done func(timing.Time)) AccessReply {
+func (f *fakeBackend) Access(core int, addr uint64, store bool, instNum uint64, now timing.Time, done func(timing.Time)) AccessReply {
 	f.accesses++
 	if store {
 		f.stores++
@@ -279,7 +279,7 @@ type manualBackend struct {
 	dones        *[]func(timing.Time)
 }
 
-func (m *manualBackend) Access(core int, addr uint64, store bool, now timing.Time, done func(timing.Time)) AccessReply {
+func (m *manualBackend) Access(core int, addr uint64, store bool, instNum uint64, now timing.Time, done func(timing.Time)) AccessReply {
 	m.count++
 	if store {
 		return AccessReply{}

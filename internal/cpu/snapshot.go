@@ -1,0 +1,68 @@
+package cpu
+
+import (
+	"rrmpcm/internal/snapshot"
+	"rrmpcm/internal/timing"
+)
+
+const snapSection = 0x4355 // "CU"
+
+// Snapshot writes the core's execution state: progress counters, the
+// fractional-CPI accumulator, outstanding misses and the armed step
+// event (as its (at, seq) descriptor — closures cannot travel, so the
+// restorer re-creates the event from this record). stopAt is
+// deliberately not included: the restored run sets its own horizon.
+func (c *Core) Snapshot(w *snapshot.Writer) {
+	w.Section(snapSection)
+	w.I64(int64(c.localTime))
+	w.F64(c.cpiFrac)
+	w.U64(c.stats.Instructions)
+	w.U64(c.stats.MemOps)
+	w.U64(c.stats.Stores)
+	w.U64(c.stats.LoadMisses)
+	w.U64(c.stats.StoreMisses)
+	w.U64(c.stats.StallROB)
+	w.U64(c.stats.StallMSHR)
+	w.U64(c.stats.StallThrottle)
+	w.U32(uint32(len(c.loadMissInsts)))
+	for _, v := range c.loadMissInsts {
+		w.U64(v)
+	}
+	w.I64(int64(c.storeMisses))
+	w.Bool(c.throttled)
+	w.Bool(c.stepArmed)
+	w.I64(int64(c.stepAt))
+	w.I64(c.stepSeq)
+}
+
+// Restore loads state written by Snapshot into a freshly built core and
+// appends the armed step event (if any) to pend for re-scheduling.
+func (c *Core) Restore(r *snapshot.Reader, pend *[]timing.Pending) {
+	r.Section(snapSection)
+	c.localTime = timing.Time(r.I64())
+	c.cpiFrac = r.F64()
+	c.stats.Instructions = r.U64()
+	c.stats.MemOps = r.U64()
+	c.stats.Stores = r.U64()
+	c.stats.LoadMisses = r.U64()
+	c.stats.StoreMisses = r.U64()
+	c.stats.StallROB = r.U64()
+	c.stats.StallMSHR = r.U64()
+	c.stats.StallThrottle = r.U64()
+	n := r.Count(1 << 20)
+	c.loadMissInsts = c.loadMissInsts[:0]
+	for i := 0; i < n; i++ {
+		c.loadMissInsts = append(c.loadMissInsts, r.U64())
+	}
+	c.storeMisses = int(r.I64())
+	c.throttled = r.Bool()
+	armed := r.Bool()
+	at := timing.Time(r.I64())
+	seq := r.I64()
+	c.stepArmed = false
+	if r.Err() == nil && armed {
+		*pend = append(*pend, timing.Pending{At: at, Seq: seq, Arm: func() {
+			c.scheduleStep(at)
+		}})
+	}
+}

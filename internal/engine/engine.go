@@ -103,7 +103,8 @@ type Options struct {
 	// (queued -> running -> done/failed, with timestamps). Calls are
 	// serialized with each other and with Progress; see Observer.
 	Observer Observer
-	// Sim overrides the simulation function (tests only).
+	// Sim overrides the simulation function: WarmRunSim for warm-start
+	// sweeps, instrumented fakes in tests. Nil means RunSim.
 	Sim SimFunc
 }
 

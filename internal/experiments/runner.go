@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -58,6 +59,12 @@ type Options struct {
 	// model for every run of the pass (the reliability experiment sets
 	// its own windows per run instead).
 	Reliability reliability.Config
+	// WarmStart shares simulation warmup across runs: jobs whose
+	// warmup-relevant config prefix matches fork one warm snapshot
+	// instead of each re-simulating the prefix. Results are bit-identical
+	// to cold runs. Snapshots persist under CacheDir/snapshots when the
+	// disk cache is on, in memory otherwise.
+	WarmStart bool
 }
 
 // SimConfig builds the run configuration for a scheme/workload pair
@@ -135,6 +142,17 @@ func NewRunner(opt Options) *Runner {
 			fmt.Fprintf(opt.Progress, "  run cache disabled: %v\n", err)
 		}
 		eopt.Cache = c // nil on error: memory-only
+	}
+	if opt.WarmStart {
+		var store engine.SnapshotStore = engine.NewMemSnapshotStore()
+		if opt.CacheDir != "" {
+			if c, err := engine.OpenSnapshotCache(filepath.Join(opt.CacheDir, "snapshots")); err == nil {
+				store = c
+			} else if opt.Progress != nil {
+				fmt.Fprintf(opt.Progress, "  snapshot cache disabled: %v\n", err)
+			}
+		}
+		eopt.Sim = engine.WarmRunSim(store)
 	}
 	if opt.Progress != nil {
 		eopt.Progress = func(res engine.Result) {

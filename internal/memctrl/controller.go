@@ -21,6 +21,11 @@ type Controller struct {
 	// is per-controller and LIFO, so reuse order — like everything else
 	// in the simulator — is deterministic.
 	reqFree []*Request
+
+	// inflight tracks pooled reads whose completion event is scheduled
+	// (the request lives only inside that event otherwise), so state
+	// snapshots can enumerate them. Swap-removal keeps it O(1).
+	inflight []*Request
 }
 
 // New builds a controller over the mapped device, driven by eq. rec may
@@ -91,7 +96,31 @@ func (c *Controller) AcquireRequest() *Request {
 	}
 	r.Kind, r.Addr, r.Mode, r.Wear, r.OnDone = 0, 0, 0, 0, nil
 	r.forwarded = false
+	r.OwnerCore, r.OwnerStore, r.OwnerInst = -1, false, 0
+	r.flightIdx = -1
 	return r
+}
+
+// trackFlight records a pooled read whose completion event was just
+// scheduled at (at, seq).
+func (c *Controller) trackFlight(r *Request, at timing.Time, seq int64) {
+	r.doneAt, r.doneSeq = at, seq
+	r.flightIdx = len(c.inflight)
+	c.inflight = append(c.inflight, r)
+}
+
+// untrackFlight removes a completing read from the in-flight list.
+func (c *Controller) untrackFlight(r *Request) {
+	i := r.flightIdx
+	if i < 0 {
+		return
+	}
+	last := len(c.inflight) - 1
+	c.inflight[i] = c.inflight[last]
+	c.inflight[i].flightIdx = i
+	c.inflight[last] = nil
+	c.inflight = c.inflight[:last]
+	r.flightIdx = -1
 }
 
 // release returns a pooled request to the free list.
@@ -107,6 +136,7 @@ func (c *Controller) release(r *Request) {
 // by a pooled request.
 func (r *Request) finishRead(t timing.Time) {
 	c := r.ctl
+	c.untrackFlight(r)
 	ch := c.chans[r.loc.Channel]
 	forwarded := r.forwarded
 	c.rec.RecordRead(r.Addr)
@@ -158,7 +188,8 @@ func (c *Controller) TryEnqueue(req *Request) bool {
 		}
 		if req.pooled {
 			req.forwarded = true
-			c.eq.Schedule(now+lat, req.doneFn)
+			done := now + lat
+			c.trackFlight(req, done, c.eq.Schedule(done, req.doneFn).Seq())
 			return true
 		}
 		done := req.OnDone
@@ -249,6 +280,8 @@ type inflightWrite struct {
 	pausePending bool
 	zombie       bool // completed with a pause event still in flight
 	completion   timing.EventRef
+	pauseEvAt    timing.Time // scheduled pause boundary (valid while pausePending)
+	pauseEvSeq   int64
 
 	completeFn func(t timing.Time)
 	pauseFn    func(t timing.Time)
@@ -544,7 +577,7 @@ func (ch *channel) startRead(r *Request, now timing.Time) {
 		ch.ctl.stats.ReadLatencyMax = lat
 	}
 	if r.pooled {
-		ch.ctl.eq.Schedule(done, r.doneFn)
+		ch.ctl.trackFlight(r, done, ch.ctl.eq.Schedule(done, r.doneFn).Seq())
 		return
 	}
 	ch.ctl.eq.Schedule(done, func(t timing.Time) {
@@ -621,7 +654,8 @@ func (ch *channel) requestPause(wr *inflightWrite, now timing.Time) {
 		return
 	}
 	wr.pausePending = true
-	ch.ctl.eq.Schedule(boundary, wr.pauseFn)
+	wr.pauseEvAt = boundary
+	wr.pauseEvSeq = ch.ctl.eq.Schedule(boundary, wr.pauseFn).Seq()
 }
 
 // pauseAt suspends wr at boundary time t (if it is still running).

@@ -62,9 +62,25 @@ type Request struct {
 	// returned for reads; write pulse finished for writes).
 	OnDone func(now timing.Time)
 
+	// OwnerCore/OwnerStore/OwnerInst identify the core-side requester of
+	// a demand read (OwnerCore < 0: no owner). OnDone is a closure and
+	// cannot travel in a state snapshot, so the snapshot records this
+	// identity instead and the restorer rebuilds the callback from it
+	// (see cpu.Core.MissCallback).
+	OwnerCore  int
+	OwnerStore bool
+	OwnerInst  uint64
+
 	enqueuedAt timing.Time
 	loc        pcm.Location
 	rowTag     uint64 // row-buffer tag, cached at enqueue (reads)
+
+	// In-flight read tracking (snapshot bookkeeping): the scheduled
+	// completion event's (time, seq) and this request's index in the
+	// controller's in-flight list, -1 when not in flight.
+	doneAt    timing.Time
+	doneSeq   int64
+	flightIdx int
 
 	// Pool bookkeeping (requests from Controller.AcquireRequest): the
 	// owning controller, a once-bound read-completion callback, and

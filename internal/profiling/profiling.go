@@ -1,0 +1,51 @@
+// Package profiling is the CLI profiling helper behind the -cpuprofile
+// and -memprofile flags of cmd/rrmsim and cmd/experiments: start a CPU
+// profile, and on stop snapshot the live heap, mirroring what
+// go test -cpuprofile/-memprofile produces so the files feed straight
+// into go tool pprof.
+package profiling
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuFile (if non-empty) and returns a
+// stop function that ends it and writes a heap profile to memFile (if
+// non-empty). The stop function never fails the program: heap-profile
+// write errors go to stderr via the onErr callback. Call stop on the
+// exit paths that should keep the profiles; error exits lose them, the
+// same way go test's do.
+func Start(cpuFile, memFile string, onErr func(error)) (stop func(), err error) {
+	var cpu *os.File
+	if cpuFile != "" {
+		cpu, err = os.Create(cpuFile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			cpu.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			cpu.Close()
+		}
+		if memFile == "" {
+			return
+		}
+		f, err := os.Create(memFile)
+		if err != nil {
+			onErr(err)
+			return
+		}
+		runtime.GC() // materialize the final live-heap picture
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			onErr(err)
+		}
+		f.Close()
+	}, nil
+}

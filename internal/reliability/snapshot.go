@@ -1,0 +1,75 @@
+package reliability
+
+import (
+	"sort"
+
+	"rrmpcm/internal/snapshot"
+	"rrmpcm/internal/timing"
+)
+
+const snapSection = 0x524C // "RL"
+
+// Snapshot writes the injector's full state: every tracked line (in
+// sorted address order, so the encoding is deterministic), the
+// generation counter, the patrol queue and the accumulated metrics.
+func (e *Engine) Snapshot(w *snapshot.Writer) error {
+	w.Section(snapSection)
+	w.U64(e.generation)
+
+	keys := make([]uint64, 0, len(e.lines))
+	for blk := range e.lines {
+		keys = append(keys, blk)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	w.U32(uint32(len(keys)))
+	for _, blk := range keys {
+		ls := e.lines[blk]
+		w.U64(blk)
+		w.I64(int64(ls.writtenAt))
+		w.U64(ls.rng)
+		w.F64(ls.lastP)
+		w.U16(ls.flips)
+		w.U8(ls.mode)
+		w.Bool(ls.scrubbed)
+	}
+
+	// The patrol ring travels as its live FIFO sequence; the consumed
+	// prefix is dropped (equivalent, since only pop order is observable).
+	w.U32(uint32(len(e.patrolQ) - e.patrolHead))
+	for _, blk := range e.patrolQ[e.patrolHead:] {
+		w.U64(blk)
+	}
+	return w.JSON(e.m)
+}
+
+// Restore loads state written by Snapshot into a same-config engine.
+func (e *Engine) Restore(r *snapshot.Reader) {
+	r.Section(snapSection)
+	e.generation = r.U64()
+
+	n := r.Count(1 << 28)
+	e.lines = make(map[uint64]lineState, n)
+	for i := 0; i < n; i++ {
+		blk := r.U64()
+		var ls lineState
+		ls.writtenAt = timing.Time(r.I64())
+		ls.rng = r.U64()
+		ls.lastP = r.F64()
+		ls.flips = r.U16()
+		ls.mode = r.U8()
+		ls.scrubbed = r.Bool()
+		if r.Err() != nil {
+			return
+		}
+		e.lines[blk] = ls
+	}
+
+	q := r.Count(1 << 28)
+	e.patrolQ = make([]uint64, q)
+	e.patrolHead = 0
+	for i := 0; i < q; i++ {
+		e.patrolQ[i] = r.U64()
+	}
+	e.m = Metrics{}
+	r.JSON(&e.m)
+}

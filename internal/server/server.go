@@ -34,6 +34,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"sync"
@@ -64,6 +65,10 @@ type Options struct {
 	// 30 s. Progress streams are exempt (they are long-lived by
 	// design and end with the job or the client).
 	RequestTimeout time.Duration
+	// WarmStart shares simulation warmup across jobs whose configs have
+	// the same warmup-relevant prefix (engine.WarmRunSim). With CacheDir
+	// set, snapshots also persist to disk under CacheDir/snapshots.
+	WarmStart bool
 	// Sim overrides the simulation function (tests only).
 	Sim engine.SimFunc
 }
@@ -121,6 +126,17 @@ func New(opt Options) (*Server, error) {
 		}
 		s.cache = c
 		eopt.Cache = c
+	}
+	if opt.WarmStart && eopt.Sim == nil {
+		var store engine.SnapshotStore = engine.NewMemSnapshotStore()
+		if opt.CacheDir != "" {
+			c, err := engine.OpenSnapshotCache(filepath.Join(opt.CacheDir, "snapshots"))
+			if err != nil {
+				return nil, fmt.Errorf("server: %w", err)
+			}
+			store = c
+		}
+		eopt.Sim = engine.WarmRunSim(store)
 	}
 	s.eng = engine.New(eopt)
 	s.mux = s.routes()

@@ -34,17 +34,24 @@ type backend struct {
 	maxRefreshBacklog int
 
 	// subFree recycles delayed-submission envelopes so the per-access
-	// Schedule closures disappear from the steady state.
-	subFree []*submission
+	// Schedule closures disappear from the steady state. liveSubs tracks
+	// the envelopes whose delivery event is scheduled, so state snapshots
+	// can enumerate them (swap-removal keeps it O(1)).
+	subFree  []*submission
+	liveSubs []*submission
 }
 
 // submission is one request waiting for its core-local delivery time.
-// The callback is bound once per pooled object.
+// The callback is bound once per pooled object; at/seq/idx record the
+// scheduled delivery event for snapshots.
 type submission struct {
 	b      *backend
 	req    *memctrl.Request
 	coreID int
 	fn     func(timing.Time)
+	at     timing.Time
+	seq    int64
+	idx    int
 }
 
 func newBackend(sys *System) *backend {
@@ -63,7 +70,7 @@ func newBackend(sys *System) *backend {
 }
 
 // Access implements cpu.Backend.
-func (b *backend) Access(coreID int, addr uint64, store bool, now timing.Time, done func(timing.Time)) cpu.AccessReply {
+func (b *backend) Access(coreID int, addr uint64, store bool, instNum uint64, now timing.Time, done func(timing.Time)) cpu.AccessReply {
 	kind := cache.Load
 	if store {
 		kind = cache.Store
@@ -86,6 +93,9 @@ func (b *backend) Access(coreID int, addr uint64, store bool, now timing.Time, d
 		reply.Pending = true
 		req := b.sys.ctl.AcquireRequest()
 		req.Kind, req.Addr, req.OnDone = memctrl.ReadReq, res.MemReadAddr, done
+		// Owner identity lets a state snapshot rebuild the callback
+		// (cpu.Core.MissCallback) after a restore.
+		req.OwnerCore, req.OwnerStore, req.OwnerInst = coreID, store, instNum
 		b.submitAt(now, req, coreID)
 	}
 
@@ -115,6 +125,7 @@ func (b *backend) submitAt(now timing.Time, req *memctrl.Request, coreID int) {
 	} else {
 		s = &submission{b: b}
 		s.fn = func(t timing.Time) {
+			s.b.untrackSub(s)
 			req, coreID := s.req, s.coreID
 			s.req = nil
 			s.b.subFree = append(s.b.subFree, s)
@@ -122,7 +133,20 @@ func (b *backend) submitAt(now timing.Time, req *memctrl.Request, coreID int) {
 		}
 	}
 	s.req, s.coreID = req, coreID
-	b.sys.eq.Schedule(now, s.fn)
+	s.at = now
+	s.seq = b.sys.eq.Schedule(now, s.fn).Seq()
+	s.idx = len(b.liveSubs)
+	b.liveSubs = append(b.liveSubs, s)
+}
+
+// untrackSub removes a firing submission from the live list.
+func (b *backend) untrackSub(s *submission) {
+	i := s.idx
+	last := len(b.liveSubs) - 1
+	b.liveSubs[i] = b.liveSubs[last]
+	b.liveSubs[i].idx = i
+	b.liveSubs[last] = nil
+	b.liveSubs = b.liveSubs[:last]
 }
 
 // submit enqueues or parks a request.

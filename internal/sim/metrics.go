@@ -85,13 +85,13 @@ type RetentionDetail struct {
 	First            string `json:"first,omitempty"`
 }
 
-// collect subtracts the warmup snapshot and converts to real rates.
-func (s *System) collect(sn snapshot) Metrics {
+// collect subtracts the warmup baseline and converts to real rates.
+func (s *System) collect() Metrics {
+	sn := &s.base
 	m := Metrics{
-		Scheme:       s.cfg.Scheme.Name(),
-		Workload:     s.cfg.Workload.Name,
-		TimeScale:    s.cfg.TimeScale,
-		WritesByMode: ModeWrites{},
+		Scheme:    s.cfg.Scheme.Name(),
+		Workload:  s.cfg.Workload.Name,
+		TimeScale: s.cfg.TimeScale,
 	}
 	window := s.cfg.Duration
 	m.SimSeconds = window.Seconds()
@@ -124,16 +124,26 @@ func (s *System) collect(sn snapshot) Metrics {
 	m.RowBufHitRate = cs.RowBufHitRate()
 	m.WritePauses = cs.WritePauses - sn.ctl.WritePauses
 
-	// Write-mode split.
+	// Write-mode split. Deltas are staged in a fixed array so the result
+	// map is allocated once, at its exact final size.
 	var shortW, totalW uint64
-	for _, mode := range pcm.Modes() {
-		n := s.wear.ByMode(mode) - sn.wearMode[mode]
+	var deltas [5]uint64
+	nonzero := 0
+	for i, mode := range pcm.Modes() {
+		n := s.wear.ByMode(mode) - sn.wearMode[mode-pcm.Mode3SETs]
+		deltas[i] = n
 		if n > 0 {
-			m.WritesByMode[mode] = n
+			nonzero++
 		}
 		totalW += n
 		if mode < s.policy.GlobalRefreshMode() {
 			shortW += n
+		}
+	}
+	m.WritesByMode = make(ModeWrites, nonzero)
+	for i, mode := range pcm.Modes() {
+		if deltas[i] > 0 {
+			m.WritesByMode[mode] = deltas[i]
 		}
 	}
 	if totalW > 0 {

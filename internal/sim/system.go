@@ -14,9 +14,31 @@ import (
 	"rrmpcm/internal/trace"
 )
 
+// runPhase tracks a System's single-use lifecycle: built, warmed (by
+// Warmup or Restore), measured.
+type runPhase int
+
+const (
+	phaseNew runPhase = iota
+	phaseWarm
+	phaseDone
+)
+
+func (p runPhase) String() string {
+	switch p {
+	case phaseNew:
+		return "fresh"
+	case phaseWarm:
+		return "warmed"
+	default:
+		return "measured"
+	}
+}
+
 // System is one fully assembled simulated machine.
 type System struct {
-	cfg Config
+	cfg   Config
+	phase runPhase
 
 	eq      *timing.EventQueue
 	amap    *pcm.AddressMap
@@ -27,9 +49,21 @@ type System struct {
 	policy  core.WritePolicy
 	rrm     *core.RRM // nil for static/custom schemes
 	cores   []*cpu.Core
+	gens    []*trace.Mixture // per-core generators, retained for snapshots
 	backend *backend
 	checker *retentionChecker
 	rel     *reliability.Engine // nil when the reliability model is off
+
+	// base is the warmup-end counter baseline collect subtracts; held on
+	// the System (with fixed-size arrays) so a run allocates nothing to
+	// capture it.
+	base baseline
+
+	// Patrol-scrub event bookkeeping (see initPatrol/armPatrol).
+	patrolInterval timing.Time
+	patrolAt       timing.Time
+	patrolSeq      int64
+	patrolFn       func(timing.Time)
 }
 
 // New assembles the system described by cfg.
@@ -110,7 +144,10 @@ func New(cfg Config) (*System, error) {
 			return nil, err
 		}
 		s.cores = append(s.cores, c)
+		s.gens = append(s.gens, gen)
 	}
+	s.base.coreInsts = make([]uint64, 0, len(s.cores))
+	s.base.coreTimes = make([]timing.Time, 0, len(s.cores))
 	return s, nil
 }
 
@@ -140,6 +177,21 @@ func (s *System) Run() (Metrics, error) {
 // cancelled or timed-out context stops the run mid-window with ctx's
 // error instead of completing it. A System is single-use either way.
 func (s *System) RunContext(ctx context.Context) (Metrics, error) {
+	if err := s.Warmup(ctx); err != nil {
+		return Metrics{}, err
+	}
+	return s.Measure(ctx)
+}
+
+// Warmup starts every component and advances the simulation to the end of
+// the warmup window. A warmed system can be measured (Measure) or
+// serialized (Snapshot) — taking a snapshot here and restoring it into a
+// fresh same-prefix system reproduces this exact state without
+// re-simulating the warmup.
+func (s *System) Warmup(ctx context.Context) error {
+	if s.phase != phaseNew {
+		return fmt.Errorf("sim: Warmup called on a %s system", s.phase)
+	}
 	end := s.cfg.Warmup + s.cfg.Duration
 	for _, c := range s.cores {
 		c.StopAt(end)
@@ -152,13 +204,30 @@ func (s *System) RunContext(ctx context.Context) (Metrics, error) {
 		cust.Start(s.eq)
 	}
 	if s.rel != nil && s.cfg.Reliability.Patrol {
-		s.startPatrol()
+		s.initPatrol()
+		s.armPatrol(s.eq.Now() + s.patrolInterval)
 	}
-
 	if err := s.runUntil(ctx, s.cfg.Warmup); err != nil {
-		return Metrics{}, err
+		return err
 	}
-	snap := s.snapshot()
+	s.phase = phaseWarm
+	return nil
+}
+
+// Measure runs the measurement window of a warmed system (from Warmup or
+// Restore), drains the memory system and returns the collected metrics.
+func (s *System) Measure(ctx context.Context) (Metrics, error) {
+	if s.phase != phaseWarm {
+		return Metrics{}, fmt.Errorf("sim: Measure called on a %s system", s.phase)
+	}
+	end := s.cfg.Warmup + s.cfg.Duration
+	// Re-assert the stop horizon: it is not part of a snapshot (a
+	// restored run sets its own), and no core can have reached it during
+	// warmup (local time never leads the clock by more than a quantum).
+	for _, c := range s.cores {
+		c.StopAt(end)
+	}
+	s.captureBaseline()
 
 	if err := s.runUntil(ctx, end); err != nil {
 		return Metrics{}, err
@@ -190,27 +259,32 @@ func (s *System) RunContext(ctx context.Context) (Metrics, error) {
 		// are in the future of `end` and read as age zero.
 		s.rel.Finish(end)
 	}
-	return s.collect(snap), nil
+	s.phase = phaseDone
+	return s.collect(), nil
 }
 
-// startPatrol arms the periodic background patrol scrub: every scaled
-// PatrolInterval it asks the reliability engine for the next batch of
-// tracked lines and rewrites them through the controller's refresh path
-// (clock-driven work, accounted like slow refresh).
-func (s *System) startPatrol() {
-	interval := s.cfg.scaledPatrolInterval()
+// initPatrol builds the periodic background patrol-scrub callback: every
+// scaled PatrolInterval it asks the reliability engine for the next batch
+// of tracked lines and rewrites them through the controller's refresh
+// path (clock-driven work, accounted like slow refresh). armPatrol
+// schedules it and records the event descriptor for snapshots.
+func (s *System) initPatrol() {
+	s.patrolInterval = s.cfg.scaledPatrolInterval()
 	issue := func(addr uint64, mode pcm.WriteMode) {
 		s.backend.IssueRefresh(addr, mode, pcm.WearSlowRefresh)
 	}
-	var tick func(now timing.Time)
-	tick = func(now timing.Time) {
+	s.patrolFn = func(now timing.Time) {
 		if s.backend.stopped {
 			return // measurement over: the drain must not add work
 		}
 		s.rel.Patrol(issue)
-		s.eq.Schedule(now+interval, tick)
+		s.armPatrol(now + s.patrolInterval)
 	}
-	s.eq.Schedule(s.eq.Now()+interval, tick)
+}
+
+func (s *System) armPatrol(at timing.Time) {
+	s.patrolAt = at
+	s.patrolSeq = s.eq.Schedule(at, s.patrolFn).Seq()
 }
 
 // runUntil advances the event queue to t in millisecond slices, checking
@@ -229,8 +303,11 @@ func (s *System) runUntil(ctx context.Context, t timing.Time) error {
 	return nil
 }
 
-// snapshot captures every counter the measurement window must subtract.
-type snapshot struct {
+// baseline captures every counter the measurement window must subtract.
+// It lives on the System and is refilled in place — wearMode is a fixed
+// array (indexed mode−Mode3SETs) and the per-core slices keep their
+// backing arrays — so capturing it allocates nothing.
+type baseline struct {
 	at        timing.Time
 	coreInsts []uint64
 	coreTimes []timing.Time
@@ -238,19 +315,19 @@ type snapshot struct {
 	llcAcc    uint64
 	ctl       memctrl.Stats
 	wearKind  [4]uint64
-	wearMode  map[pcm.WriteMode]uint64
+	wearMode  [5]uint64
 	energyW   [4]float64
 	energyR   float64
 	rrm       core.Stats
 	rel       reliability.Metrics
 }
 
-func (s *System) snapshot() snapshot {
-	sn := snapshot{
-		at:       s.eq.Now(),
-		ctl:      s.ctl.Stats(),
-		wearMode: map[pcm.WriteMode]uint64{},
-	}
+func (s *System) captureBaseline() {
+	sn := &s.base
+	sn.at = s.eq.Now()
+	sn.ctl = s.ctl.Stats()
+	sn.coreInsts = sn.coreInsts[:0]
+	sn.coreTimes = sn.coreTimes[:0]
 	for _, c := range s.cores {
 		st := c.Stats()
 		sn.coreInsts = append(sn.coreInsts, st.Instructions)
@@ -263,14 +340,15 @@ func (s *System) snapshot() snapshot {
 		sn.energyW[i] = s.energy.WriteEnergy(k)
 	}
 	for _, m := range pcm.Modes() {
-		sn.wearMode[m] = s.wear.ByMode(m)
+		sn.wearMode[m-pcm.Mode3SETs] = s.wear.ByMode(m)
 	}
 	sn.energyR = s.energy.ReadEnergy()
+	sn.rrm = core.Stats{}
 	if s.rrm != nil {
 		sn.rrm = s.rrm.Stats()
 	}
+	sn.rel = reliability.Metrics{}
 	if s.rel != nil {
 		sn.rel = s.rel.Metrics()
 	}
-	return sn
 }

@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"rrmpcm/internal/timing"
+	"rrmpcm/internal/trace"
+)
+
+// runStraight runs cfg start to finish and returns the metrics JSON.
+func runStraight(t *testing.T, cfg Config) []byte {
+	t.Helper()
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// snapshotWarm warms a system under cfg and returns its snapshot blob.
+func snapshotWarm(t *testing.T, cfg Config) []byte {
+	t.Helper()
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Warmup(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := sys.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// runForked restores blob into a fresh cfg system and measures it.
+func runForked(t *testing.T, cfg Config, blob []byte) []byte {
+	t.Helper()
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Restore(blob); err != nil {
+		t.Fatal(err)
+	}
+	m, err := sys.Measure(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestWarmStartForkBitIdentical is the warm-start correctness bar: for
+// every golden configuration, snapshotting at the warmup boundary and
+// measuring from the restored fork must produce metrics bit-identical to
+// the straight-through run. This covers the event-queue re-arm ordering,
+// every component codec, and the callback-identity reconstruction.
+func TestWarmStartForkBitIdentical(t *testing.T) {
+	for _, tc := range goldenCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			w, err := trace.WorkloadByName(tc.workload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := goldenConfig(tc.scheme, w)
+			straight := runStraight(t, cfg)
+			forked := runForked(t, cfg, snapshotWarm(t, cfg))
+			if !bytes.Equal(straight, forked) {
+				t.Errorf("forked run diverged from straight-through:\n%s", goldenDiff(straight, forked))
+			}
+		})
+	}
+}
+
+// TestWarmStartForkReliability covers the reliability engine, patrol
+// scrub and retention checker codecs, which the golden cases leave off.
+func TestWarmStartForkReliability(t *testing.T) {
+	w, err := trace.WorkloadByName("GemsFDTD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := goldenConfig(RRMScheme(), w)
+	cfg.Reliability.Enabled = true
+	cfg.Reliability.Patrol = true
+	straight := runStraight(t, cfg)
+	forked := runForked(t, cfg, snapshotWarm(t, cfg))
+	if !bytes.Equal(straight, forked) {
+		t.Errorf("forked reliability run diverged from straight-through:\n%s", goldenDiff(straight, forked))
+	}
+}
+
+// TestWarmStartCrossDuration forks one warm snapshot into runs whose
+// measurement windows differ from the run that produced it — the sweep
+// use case. Each fork must match the straight-through run of the same
+// total duration.
+func TestWarmStartCrossDuration(t *testing.T) {
+	w, err := trace.WorkloadByName("GemsFDTD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := goldenConfig(RRMScheme(), w)
+	blob := snapshotWarm(t, base)
+	for _, d := range []timing.Time{1000 * timing.Microsecond, 2000 * timing.Microsecond} {
+		cfg := base
+		cfg.Duration = d
+		straight := runStraight(t, cfg)
+		forked := runForked(t, cfg, blob)
+		if !bytes.Equal(straight, forked) {
+			t.Errorf("duration %v: forked run diverged:\n%s", d, goldenDiff(straight, forked))
+		}
+	}
+}
+
+// TestSnapshotRejectsCorruption flips bytes across a real system snapshot
+// and demands Restore fail cleanly (never panic, never silently accept).
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	w, err := trace.WorkloadByName("GemsFDTD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := goldenConfig(RRMScheme(), w)
+	blob := snapshotWarm(t, cfg)
+	for i := 0; i < len(blob); i += 997 {
+		bad := append([]byte(nil), blob...)
+		bad[i] ^= 0x40
+		sys, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Restore(bad); err == nil {
+			t.Fatalf("corruption at byte %d accepted", i)
+		}
+	}
+}
+
+// TestSnapshotLifecycle pins the phase rules: no snapshot before warmup
+// or after measurement, no restore into a used system.
+func TestSnapshotLifecycle(t *testing.T) {
+	w, err := trace.WorkloadByName("GemsFDTD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := goldenConfig(RRMScheme(), w)
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Snapshot(); err == nil {
+		t.Error("Snapshot before Warmup succeeded")
+	}
+	if _, err := sys.Measure(context.Background()); err == nil {
+		t.Error("Measure before Warmup succeeded")
+	}
+	if err := sys.Warmup(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Warmup(context.Background()); err == nil {
+		t.Error("double Warmup succeeded")
+	}
+	blob, err := sys.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Restore(blob); err == nil {
+		t.Error("Restore into a warmed system succeeded")
+	}
+	if _, err := sys.Measure(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Measure(context.Background()); err == nil {
+		t.Error("double Measure succeeded")
+	}
+	if _, err := sys.Snapshot(); err == nil {
+		t.Error("Snapshot after Measure succeeded")
+	}
+}

@@ -1,0 +1,140 @@
+package snapshot
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSnapshotRoundTrip drives the codec two ways from one input:
+//
+//  1. treat the fuzz bytes as a script of typed values, encode them,
+//     decode them back, and require an exact match (round-trip);
+//  2. feed the raw fuzz bytes straight to NewReader and a decode loop,
+//     requiring graceful errors — never a panic — on arbitrary input.
+func FuzzSnapshotRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	// A well-formed blob as a seed for the robustness path.
+	w := NewWriter(0)
+	w.Header(0x1234, 1)
+	w.U64(42)
+	w.String("seed")
+	f.Add(w.Finish())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		roundTrip(t, data)
+		decodeArbitrary(data)
+	})
+}
+
+// roundTrip interprets data as (tag, payload) ops, encodes the derived
+// values, and checks they decode back identically.
+func roundTrip(t *testing.T, data []byte) {
+	const magic, version = 0xF00D, 2
+	w := NewWriter(0)
+	w.Header(magic, version)
+
+	type op struct {
+		kind byte
+		u    uint64
+		b    []byte
+	}
+	var ops []op
+	for i := 0; i+9 <= len(data) && len(ops) < 64; i += 9 {
+		kind := data[i] % 7
+		var u uint64
+		for j := 0; j < 8; j++ {
+			u |= uint64(data[i+1+j]) << (8 * j)
+		}
+		o := op{kind: kind, u: u}
+		switch kind {
+		case 0:
+			w.U8(uint8(u))
+		case 1:
+			w.U16(uint16(u))
+		case 2:
+			w.U32(uint32(u))
+		case 3:
+			w.U64(u)
+		case 4:
+			w.I64(int64(u))
+		case 5:
+			w.Bool(u&1 == 1)
+		case 6:
+			n := int(u % 16)
+			if n > len(data) {
+				n = len(data)
+			}
+			o.b = data[:n]
+			w.Bytes(o.b)
+		}
+		ops = append(ops, o)
+	}
+	blob := w.Finish()
+
+	r, err := NewReader(blob, magic, version)
+	if err != nil {
+		t.Fatalf("own blob rejected: %v", err)
+	}
+	for _, o := range ops {
+		switch o.kind {
+		case 0:
+			if got := r.U8(); got != uint8(o.u) {
+				t.Fatalf("U8 %#x != %#x", got, uint8(o.u))
+			}
+		case 1:
+			if got := r.U16(); got != uint16(o.u) {
+				t.Fatalf("U16 %#x != %#x", got, uint16(o.u))
+			}
+		case 2:
+			if got := r.U32(); got != uint32(o.u) {
+				t.Fatalf("U32 %#x != %#x", got, uint32(o.u))
+			}
+		case 3:
+			if got := r.U64(); got != o.u {
+				t.Fatalf("U64 %#x != %#x", got, o.u)
+			}
+		case 4:
+			if got := r.I64(); got != int64(o.u) {
+				t.Fatalf("I64 %d != %d", got, int64(o.u))
+			}
+		case 5:
+			if got := r.Bool(); got != (o.u&1 == 1) {
+				t.Fatalf("Bool %v != %v", got, o.u&1 == 1)
+			}
+		case 6:
+			if got := r.Bytes(); !bytes.Equal(got, o.b) {
+				t.Fatalf("Bytes %v != %v", got, o.b)
+			}
+		}
+	}
+	if err := r.Done(); err != nil {
+		t.Fatalf("own blob left residue: %v", err)
+	}
+}
+
+// decodeArbitrary must never panic, whatever the bytes are.
+func decodeArbitrary(data []byte) {
+	r, err := NewReader(data, 0x1234, 1)
+	if err != nil {
+		return
+	}
+	for i := 0; i < 32 && r.Err() == nil; i++ {
+		switch i % 6 {
+		case 0:
+			r.U8()
+		case 1:
+			r.U16()
+		case 2:
+			r.U64()
+		case 3:
+			r.Bool()
+		case 4:
+			r.Bytes()
+		case 5:
+			r.Count(1 << 20)
+		}
+	}
+	_ = r.Done()
+}

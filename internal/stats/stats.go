@@ -116,7 +116,9 @@ func (b IntervalBucket) String() string {
 type IntervalHistogram struct {
 	regionShift  uint
 	totalRegions uint64
-	recs         map[uint64]*regionRec
+	// recs holds records by value: regions never allocate individual
+	// heap objects, only map growth does, and Reset reuses the buckets.
+	recs map[uint64]regionRec
 }
 
 type regionRec struct {
@@ -130,20 +132,25 @@ func NewIntervalHistogram(memBytes uint64) *IntervalHistogram {
 	return &IntervalHistogram{
 		regionShift:  12,
 		totalRegions: memBytes >> 12,
-		recs:         make(map[uint64]*regionRec),
+		recs:         make(map[uint64]regionRec),
 	}
 }
+
+// Reset clears the accumulated regions, keeping the map's storage so a
+// reused histogram is allocation-free in steady state.
+func (h *IntervalHistogram) Reset() { clear(h.recs) }
 
 // AddWrite records a memory write to addr at time t.
 func (h *IntervalHistogram) AddWrite(addr uint64, t timing.Time) {
 	region := addr >> h.regionShift
-	r := h.recs[region]
-	if r == nil {
-		h.recs[region] = &regionRec{first: t, last: t, count: 1}
+	r, ok := h.recs[region]
+	if !ok {
+		h.recs[region] = regionRec{first: t, last: t, count: 1}
 		return
 	}
 	r.count++
 	r.last = t
+	h.recs[region] = r
 }
 
 // Row is one Table III line.

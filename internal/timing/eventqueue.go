@@ -27,6 +27,17 @@ type EventRef struct {
 // still refer to an already-fired event).
 func (r EventRef) Valid() bool { return r.ev != nil }
 
+// Seq returns the event's sequence number (-1 for the zero ref). Within
+// one queue lifetime, sequence numbers totally order events scheduled
+// for the same instant, which is what state snapshots record to rebuild
+// the dispatch order on restore.
+func (r EventRef) Seq() int64 {
+	if r.ev == nil {
+		return -1
+	}
+	return r.seq
+}
+
 // EventQueue is a deterministic min-heap of events. Events scheduled for
 // the same instant fire in the order they were scheduled, which keeps
 // simulations reproducible regardless of map iteration or goroutine
@@ -75,6 +86,22 @@ func (q *EventQueue) Schedule(at Time, fn func(now Time)) EventRef {
 	q.h = append(q.h, ev)
 	q.siftUp(ev.idx)
 	return EventRef{ev: ev, seq: ev.seq}
+}
+
+// Reset discards every pending event, restarts the sequence counter and
+// sets the clock to now. It is the first step of restoring a state
+// snapshot: the restored components re-schedule their pending events
+// onto the emptied queue (see Pending).
+func (q *EventQueue) Reset(now Time) {
+	for _, ev := range q.h {
+		q.recycle(ev)
+	}
+	for i := range q.h {
+		q.h[i] = nil
+	}
+	q.h = q.h[:0]
+	q.seq = 0
+	q.now = now
 }
 
 // After enqueues fn to run d after the current time.

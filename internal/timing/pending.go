@@ -1,0 +1,32 @@
+package timing
+
+import "sort"
+
+// Pending describes one event that was live in a snapshotted queue:
+// when it was due (At), where it stood in the schedule order (Seq, from
+// EventRef.Seq at snapshot time), and a closure that re-schedules it on
+// the restored queue. Components append one Pending per live event
+// during Restore; the restorer then calls Rearm once with all of them.
+type Pending struct {
+	At  Time
+	Seq int64
+	Arm func()
+}
+
+// Rearm sorts the descriptors by (At, Seq) and invokes each Arm in that
+// order, so the restored queue assigns fresh sequence numbers 0..n-1
+// that reproduce the snapshotted dispatch order exactly: ties at the
+// same At keep their original relative order, and events scheduled
+// after the restore point always receive larger sequence numbers than
+// every re-armed event — just as they did in the original run.
+func Rearm(pend []Pending) {
+	sort.Slice(pend, func(i, j int) bool {
+		if pend[i].At != pend[j].At {
+			return pend[i].At < pend[j].At
+		}
+		return pend[i].Seq < pend[j].Seq
+	})
+	for i := range pend {
+		pend[i].Arm()
+	}
+}

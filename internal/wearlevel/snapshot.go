@@ -1,0 +1,60 @@
+package wearlevel
+
+import "rrmpcm/internal/snapshot"
+
+const snapSection = 0x5347 // "SG"
+
+// Snapshot writes the leveler's full rotation state: the gap registers,
+// both permutation directions and the physical wear counts. The
+// geometry (n, psi, mult) is included so Restore can reject blobs from
+// a differently built leveler.
+func (s *StartGap) Snapshot(w *snapshot.Writer) {
+	w.Section(snapSection)
+	w.U64(s.n)
+	w.U64(s.psi)
+	w.U64(s.mult)
+	w.U64(s.gap)
+	w.U64(s.count)
+	w.U64(s.writes)
+	w.U64(s.gapMoves)
+	for _, v := range s.pos {
+		w.U64(v)
+	}
+	for _, v := range s.content {
+		w.I64(v)
+	}
+	for _, v := range s.lineWrites {
+		w.U64(v)
+	}
+}
+
+// Restore loads state written by Snapshot into a leveler built with the
+// same parameters.
+func (s *StartGap) Restore(r *snapshot.Reader) {
+	r.Section(snapSection)
+	if n := r.U64(); r.Err() == nil && n != s.n {
+		r.Fail("wearlevel: snapshot has %d lines, live leveler %d", n, s.n)
+		return
+	}
+	if psi := r.U64(); r.Err() == nil && psi != s.psi {
+		r.Fail("wearlevel: snapshot psi %d, live leveler %d", psi, s.psi)
+		return
+	}
+	if mult := r.U64(); r.Err() == nil && mult != s.mult {
+		r.Fail("wearlevel: snapshot multiplier %d, live leveler %d", mult, s.mult)
+		return
+	}
+	s.gap = r.U64()
+	s.count = r.U64()
+	s.writes = r.U64()
+	s.gapMoves = r.U64()
+	for i := range s.pos {
+		s.pos[i] = r.U64()
+	}
+	for i := range s.content {
+		s.content[i] = r.I64()
+	}
+	for i := range s.lineWrites {
+		s.lineWrites[i] = r.U64()
+	}
+}

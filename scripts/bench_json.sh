@@ -1,17 +1,20 @@
 #!/usr/bin/env sh
 # bench_json.sh — run the simulator hot-path benchmarks and emit a
-# machine-readable JSON report (default BENCH_3.json) with ns/op, B/op
+# machine-readable JSON report (default BENCH_5.json) with ns/op, B/op
 # and allocs/op per benchmark, the recorded pre-optimization baseline
-# from scripts/bench_baseline_3.json, and the relative improvement.
+# from scripts/bench_baseline_3.json (where one exists), and the
+# relative improvement. The cold/warm sweep pair at the end measures the
+# warm-start engine: WarmStartSweep forks three of its four runs from a
+# shared warmup snapshot instead of re-simulating the prefix.
 #
 # Usage: scripts/bench_json.sh [output.json]
 # Env:   BENCHTIME overrides go test -benchtime (default 1s).
 set -eu
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_3.json}
+OUT=${1:-BENCH_5.json}
 BASELINE=scripts/bench_baseline_3.json
-BENCH='^(BenchmarkTraceGenerator|BenchmarkCacheHierarchyAccess|BenchmarkMemoryController|BenchmarkFullSystemSimulation|BenchmarkReliabilitySimulation)$'
+BENCH='^(BenchmarkTraceGenerator|BenchmarkCacheHierarchyAccess|BenchmarkMemoryController|BenchmarkFullSystemSimulation|BenchmarkReliabilitySimulation|BenchmarkColdStartSweep|BenchmarkWarmStartSweep)$'
 
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
