@@ -22,10 +22,15 @@
 # serve-smoke boots rrmserve on a scratch port, pushes one quick job
 # through the full HTTP path (submit -> stream -> result -> metrics)
 # and fails unless the result comes back 200.
+#
+# cluster-smoke boots a coordinator and two workers as real processes,
+# SIGKILLs one worker mid-flight and fails unless every job completes
+# with zero duplicate simulations. cluster-load runs the acceptance
+# load harness (100k submissions through a 4-worker cluster, p99 gate).
 
 GO ?= go
 
-.PHONY: build vet test race bench bench-json bench-check profile ci serve-smoke
+.PHONY: build vet test race bench bench-json bench-check profile ci serve-smoke cluster-smoke cluster-load
 
 build:
 	$(GO) build ./...
@@ -37,7 +42,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/engine/... ./internal/experiments/... ./internal/reliability/... ./internal/server/... ./internal/sim/... ./internal/trace/...
+	$(GO) test -race ./internal/cluster/... ./internal/engine/... ./internal/experiments/... ./internal/reliability/... ./internal/server/... ./internal/sim/... ./internal/trace/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
@@ -55,5 +60,11 @@ profile:
 
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+cluster-smoke:
+	GO="$(GO)" ./scripts/cluster_smoke.sh
+
+cluster-load:
+	GO="$(GO)" ./scripts/cluster_load.sh
 
 ci: build vet test race

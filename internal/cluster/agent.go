@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"rrmpcm/internal/server"
+)
+
+// AgentOptions configures a worker's cluster agent.
+type AgentOptions struct {
+	// Coordinator is the coordinator's base URL ("http://host:port").
+	Coordinator string
+	// ID is this worker's stable identity on the ring.
+	ID string
+	// Advertise is the base URL the coordinator should proxy jobs to.
+	Advertise string
+	// Interval paces heartbeats; <= 0 means 1s. It must be comfortably
+	// below the coordinator's heartbeat TTL.
+	Interval time.Duration
+	// Logf, if non-nil, receives agent lifecycle messages.
+	Logf func(format string, args ...any)
+}
+
+// Agent is the worker side of the cluster control plane: it registers
+// the worker with the coordinator, heartbeats its load (queue depth,
+// sims executed, readiness) and deregisters on Close so the
+// coordinator stops routing before the worker starts draining.
+type Agent struct {
+	opt    AgentOptions
+	srv    *server.Server
+	client *http.Client
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// StartAgent registers srv with the coordinator and starts the
+// heartbeat loop. Registration is retried inside the loop, so starting
+// before the coordinator is up is fine — the worker becomes routable
+// with the first heartbeat that lands.
+func StartAgent(srv *server.Server, opt AgentOptions) (*Agent, error) {
+	if opt.Coordinator == "" || opt.ID == "" || opt.Advertise == "" {
+		return nil, fmt.Errorf("cluster: agent needs coordinator, id and advertise address")
+	}
+	if opt.Interval <= 0 {
+		opt.Interval = time.Second
+	}
+	if opt.Logf == nil {
+		opt.Logf = func(string, ...any) {}
+	}
+	a := &Agent{
+		opt:    opt,
+		srv:    srv,
+		client: &http.Client{Timeout: 5 * time.Second},
+		stop:   make(chan struct{}),
+	}
+	if err := a.post("/api/v1/cluster/join", JoinRequest{ID: opt.ID, Addr: opt.Advertise}); err != nil {
+		// Not fatal: heartbeats double as registration.
+		opt.Logf("cluster: join deferred (%v); will register via heartbeat", err)
+	} else {
+		opt.Logf("cluster: joined %s as %s (%s)", opt.Coordinator, opt.ID, opt.Advertise)
+	}
+	a.wg.Add(1)
+	go a.heartbeatLoop()
+	return a, nil
+}
+
+// Close deregisters from the coordinator and stops heartbeating. The
+// ordering is the graceful-drain handshake: readiness drops first (load
+// balancers), then the coordinator forgets the worker (ring), and only
+// then should the caller drain the server itself.
+func (a *Agent) Close(ctx context.Context) error {
+	a.stopOnce.Do(func() { close(a.stop) })
+	a.srv.SetReady(false)
+	err := a.post("/api/v1/cluster/leave", LeaveRequest{ID: a.opt.ID})
+	a.wg.Wait()
+	if err != nil {
+		return fmt.Errorf("cluster: deregistering %s: %w", a.opt.ID, err)
+	}
+	a.opt.Logf("cluster: left %s", a.opt.Coordinator)
+	return ctx.Err()
+}
+
+func (a *Agent) heartbeatLoop() {
+	defer a.wg.Done()
+	ticker := time.NewTicker(a.opt.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-ticker.C:
+			hb := HeartbeatRequest{
+				ID:           a.opt.ID,
+				Addr:         a.opt.Advertise,
+				QueueDepth:   a.srv.QueueDepth(),
+				SimsExecuted: a.srv.SimsExecuted(),
+				Draining:     !a.srv.Ready(),
+			}
+			if err := a.post("/api/v1/cluster/heartbeat", hb); err != nil {
+				a.opt.Logf("cluster: heartbeat: %v", err)
+			}
+		}
+	}
+}
+
+func (a *Agent) post(path string, v any) error {
+	blob, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	resp, err := a.client.Post(a.opt.Coordinator+path, "application/json", bytes.NewReader(blob))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: HTTP %d", path, resp.StatusCode)
+	}
+	return nil
+}

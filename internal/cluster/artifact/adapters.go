@@ -1,0 +1,53 @@
+package artifact
+
+import (
+	"rrmpcm/internal/engine"
+	"rrmpcm/internal/sim"
+)
+
+// RunCache adapts a Store into the engine's ResultCache seam, so a
+// worker's engine reads and writes finished runs through the shared
+// store instead of a private disk directory. Entries are byte-identical
+// to a local engine.RunCache's (same envelope, same integrity trailer),
+// which is what keeps cluster results indistinguishable from
+// single-process ones.
+type RunCache struct {
+	S Store
+}
+
+// Load implements engine.ResultCache. Corrupt or torn entries decode as
+// misses (the engine recomputes), exactly like the local run cache.
+func (c RunCache) Load(key string) (sim.Metrics, bool, error) {
+	blob, ok, err := c.S.Get(KindRun, key)
+	if err != nil || !ok {
+		return sim.Metrics{}, false, err
+	}
+	m, ok := engine.DecodeRunEntry(key, blob)
+	return m, ok, nil
+}
+
+// Store implements engine.ResultCache.
+func (c RunCache) Store(key string, m sim.Metrics) error {
+	blob, err := engine.EncodeRunEntry(key, m)
+	if err != nil {
+		return err
+	}
+	return c.S.Put(KindRun, key, blob)
+}
+
+// SnapshotStore adapts a Store into the engine's warm-start
+// SnapshotStore seam: warm snapshots produced by any worker become
+// forkable prefixes for every other worker.
+type SnapshotStore struct {
+	S Store
+}
+
+// Load implements engine.SnapshotStore.
+func (s SnapshotStore) Load(key string) ([]byte, bool, error) {
+	return s.S.Get(KindSnapshot, key)
+}
+
+// Store implements engine.SnapshotStore.
+func (s SnapshotStore) Store(key string, blob []byte) error {
+	return s.S.Put(KindSnapshot, key, blob)
+}

@@ -1,0 +1,173 @@
+package artifact
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"rrmpcm/internal/engine"
+	"rrmpcm/internal/sim"
+	"rrmpcm/internal/snapshot"
+)
+
+const (
+	runKey  = "aa51a3b2c4d5e6f7"
+	snapKey = "bb51a3b2c4d5e6f7"
+)
+
+// snapBlob builds a tiny but well-formed snapshot-codec blob.
+func snapBlob(t *testing.T) []byte {
+	t.Helper()
+	w := snapshot.NewWriter(32)
+	w.Header(0x52524d43, 1) // arbitrary magic for the test
+	w.U64(424242)
+	return w.Finish()
+}
+
+func stores(t *testing.T) map[string]Store {
+	t.Helper()
+	disk, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Store{"disk": disk, "mem": NewMem()}
+}
+
+// TestStoreRoundTrip: Put then Get returns the exact blob, per kind,
+// and Stat counts artifacts per kind without cross-talk.
+func TestStoreRoundTrip(t *testing.T) {
+	for name, s := range stores(t) {
+		blob := snapBlob(t)
+		if err := s.Put(KindSnapshot, snapKey, blob); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := s.Put(KindRun, runKey, []byte(`{"Format":3}`)); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, ok, err := s.Get(KindSnapshot, snapKey)
+		if err != nil || !ok || !bytes.Equal(got, blob) {
+			t.Errorf("%s: snapshot round trip: ok %v err %v", name, ok, err)
+		}
+		if _, ok, _ := s.Get(KindRun, snapKey); ok {
+			t.Errorf("%s: run kind served a snapshot key", name)
+		}
+		for kind, want := range map[Kind]int{KindRun: 1, KindSnapshot: 1} {
+			if n, err := s.Stat(kind); err != nil || n != want {
+				t.Errorf("%s: Stat(%s) = %d, %v; want %d", name, kind, n, err, want)
+			}
+		}
+	}
+}
+
+// TestStoreRejectsNonHashKeys: the store is content-addressed; a key
+// that is not a hash (or worse, a path) is an error, not a miss.
+func TestStoreRejectsNonHashKeys(t *testing.T) {
+	for name, s := range stores(t) {
+		for _, key := range []string{"", "short", "../../etc/passwd", "UPPER0000", "has space0"} {
+			if err := s.Put(KindRun, key, []byte("x")); err == nil {
+				t.Errorf("%s: Put accepted key %q", name, key)
+			}
+			if _, _, err := s.Get(KindRun, key); err == nil {
+				t.Errorf("%s: Get accepted key %q", name, key)
+			}
+		}
+		if err := s.Put("tarballs", runKey, []byte("x")); err == nil {
+			t.Errorf("%s: Put accepted unknown kind", name)
+		}
+	}
+}
+
+// TestDiskRejectsCorruptSnapshot: a bit-flipped snapshot blob fails its
+// trailing checksum and reads as a miss, so a worker re-warms instead
+// of restoring garbage.
+func TestDiskRejectsCorruptSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := snapBlob(t)
+	if err := d.Put(KindSnapshot, snapKey, blob); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, string(KindSnapshot), snapKey+".snap")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := d.Get(KindSnapshot, snapKey); ok || err != nil {
+		t.Errorf("corrupt snapshot: ok %v err %v, want silent miss", ok, err)
+	}
+}
+
+// TestRunCacheAdapterMatchesLocal: the adapter's entries are
+// byte-identical to a local engine.RunCache's, and either side can read
+// the other's — a standalone cache directory is adoptable as a shared
+// store and vice versa.
+func TestRunCacheAdapterMatchesLocal(t *testing.T) {
+	root := t.TempDir()
+	disk, err := OpenDisk(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := RunCache{S: disk}
+	local, err := engine.OpenRunCache(filepath.Join(root, string(KindRun)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := sim.Metrics{Scheme: "RRM", Workload: "milc", IPC: 2.5, Instructions: 777}
+	if err := shared.Store(runKey, m); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := local.Load(runKey)
+	if err != nil || !ok || !reflect.DeepEqual(got, m) {
+		t.Errorf("local cache cannot read shared entry: ok %v err %v", ok, err)
+	}
+
+	const otherKey = "cc51a3b2c4d5e6f7"
+	if err := local.Store(otherKey, m); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err = shared.Load(otherKey)
+	if err != nil || !ok || !reflect.DeepEqual(got, m) {
+		t.Errorf("shared store cannot read local entry: ok %v err %v", ok, err)
+	}
+
+	wantBlob, err := engine.EncodeRunEntry(runKey, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onDisk, err := os.ReadFile(filepath.Join(root, string(KindRun), runKey+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(onDisk, wantBlob) {
+		t.Error("shared entry bytes differ from the local run-cache encoding")
+	}
+}
+
+// TestSnapshotAdapterImplementsEngineSeam: compile-time and behavioral
+// check of the warm-start seam.
+func TestSnapshotAdapterImplementsEngineSeam(t *testing.T) {
+	var _ engine.SnapshotStore = SnapshotStore{}
+	var _ engine.ResultCache = RunCache{}
+	s := SnapshotStore{S: NewMem()}
+	blob := snapBlob(t)
+	if err := s.Store(snapKey, blob); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Load(snapKey)
+	if err != nil || !ok || !bytes.Equal(got, blob) {
+		t.Errorf("snapshot adapter round trip: ok %v err %v", ok, err)
+	}
+	if _, ok, _ := s.Load("dd51a3b2c4d5e6f7"); ok {
+		t.Error("absent snapshot served")
+	}
+}

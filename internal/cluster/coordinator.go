@@ -1,0 +1,781 @@
+// Package cluster is the distributed sweep fabric: a thin coordinator
+// tier that consistent-hashes submissions by config hash across
+// registered rrmserve workers, and the machinery (registration,
+// heartbeats, graceful drain, retry-on-worker-loss) that keeps a
+// multi-machine sweep byte-identical to a local run.
+//
+// Why this composes safely out of the existing pieces:
+//
+//   - Jobs are idempotent and content-keyed. A job's identity is the
+//     engine's SHA-256 config hash, so "the same run" means the same
+//     thing to the coordinator, every worker, the run cache and the
+//     CLI. Routing a key twice — even to two different workers after a
+//     loss — can never produce divergent results, only redundant work.
+//
+//   - Redundant work is then eliminated structurally. Consistent
+//     hashing sends all live duplicates of a key to one worker, whose
+//     registry dedups them; the shared content-addressed artifact store
+//     (internal/cluster/artifact) dedups across time and across
+//     workers, because a rerouted or resubmitted job probes the store
+//     before simulating. The engine's sims-executed counters exist to
+//     prove the result: per key, the fleet-wide sum is one.
+//
+//   - Worker loss is detected by heartbeat age (and by failed
+//     proxying), and recovery is just re-routing: the replacement
+//     worker either finds the result in the shared store (the lost
+//     worker finished it) or re-runs the deterministic simulation (it
+//     did not). Either way the bytes that come back are the ones a
+//     single-process run would have produced.
+//
+// The coordinator holds no simulation state and persists nothing; it
+// can be restarted freely. Workers re-register via their next
+// heartbeat (heartbeats upsert), and results outlive everything in the
+// artifact store.
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"rrmpcm/internal/buildinfo"
+	"rrmpcm/internal/cluster/artifact"
+	"rrmpcm/internal/engine"
+	"rrmpcm/internal/server"
+	"rrmpcm/internal/sim"
+)
+
+// Wire types of the cluster control plane (all under /api/v1/cluster).
+
+// JoinRequest registers a worker. Addr is the base URL the coordinator
+// proxies jobs to ("http://10.0.0.7:8321").
+type JoinRequest struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// HeartbeatRequest is a worker's periodic liveness report. It carries
+// Addr so a heartbeat doubles as registration: a coordinator restart
+// loses its worker table and rebuilds it within one heartbeat interval.
+type HeartbeatRequest struct {
+	ID           string `json:"id"`
+	Addr         string `json:"addr"`
+	QueueDepth   int    `json:"queue_depth"`
+	SimsExecuted uint64 `json:"sims_executed"`
+	Draining     bool   `json:"draining"`
+}
+
+// LeaveRequest deregisters a worker (graceful drain): new work stops
+// routing to it, work already on it is left to finish.
+type LeaveRequest struct {
+	ID string `json:"id"`
+}
+
+// WorkerStatus is one worker's row in GET /api/v1/cluster/workers.
+type WorkerStatus struct {
+	ID                  string    `json:"id"`
+	Addr                string    `json:"addr"`
+	JoinedAt            time.Time `json:"joined_at"`
+	LastSeen            time.Time `json:"last_seen"`
+	HeartbeatAgeSeconds float64   `json:"heartbeat_age_seconds"`
+	QueueDepth          int       `json:"queue_depth"`
+	SimsExecuted        uint64    `json:"sims_executed"`
+	Draining            bool      `json:"draining"`
+	Routable            bool      `json:"routable"`
+}
+
+// workerHeader names the response header the coordinator stamps on
+// proxied job traffic with the serving worker's ID.
+const workerHeader = "X-Rrm-Worker"
+
+// CoordinatorOptions configures a Coordinator.
+type CoordinatorOptions struct {
+	// HeartbeatTTL is how stale a worker's last heartbeat may be before
+	// the worker is declared lost and its in-flight jobs re-route;
+	// <= 0 means 5s. Workers heartbeat at a fraction of this (the agent
+	// defaults to TTL-agnostic 1s).
+	HeartbeatTTL time.Duration
+	// ReconcileInterval paces the control loop that expires lost
+	// workers, re-routes their jobs and retires finished ones;
+	// <= 0 means 500ms.
+	ReconcileInterval time.Duration
+	// VNodes is the consistent-hash virtual-node count per worker;
+	// <= 0 means 64.
+	VNodes int
+	// Artifacts, if non-nil, lets the coordinator answer status/result
+	// reads for finished jobs straight from the shared store when no
+	// live worker remembers them (worker restarts, old sweeps).
+	Artifacts artifact.Store
+	// ProxyTimeout bounds one proxied submit/status/result round trip;
+	// <= 0 means 30s. Progress streams are exempt.
+	ProxyTimeout time.Duration
+}
+
+// pendingJob is one submission the coordinator has routed but not yet
+// seen finish. The original body is kept so the job can be replayed
+// verbatim onto a replacement worker; replaying is safe because the
+// worker's registry and the shared run cache both dedup by config hash.
+type pendingJob struct {
+	key       string
+	body      []byte
+	worker    string
+	submitted time.Time
+	reroutes  int
+}
+
+// Coordinator is the routing tier. Create with NewCoordinator, serve
+// via Handler, stop with Close.
+type Coordinator struct {
+	opt    CoordinatorOptions
+	met    *clusterMetrics
+	mux    http.Handler
+	proxy  *http.Client // bounded: submit/status/result round trips
+	stream *http.Client // unbounded: event-stream proxying
+	start  time.Time
+
+	mu      sync.Mutex
+	ring    *Ring
+	workers map[string]*workerEntry
+	pending map[string]*pendingJob
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	loopWG   sync.WaitGroup
+}
+
+type workerEntry struct {
+	id           string
+	addr         string
+	joined       time.Time
+	lastSeen     time.Time
+	queueDepth   int
+	simsExecuted uint64
+	draining     bool
+}
+
+// NewCoordinator builds the coordinator and starts its reconcile loop.
+func NewCoordinator(opt CoordinatorOptions) *Coordinator {
+	if opt.HeartbeatTTL <= 0 {
+		opt.HeartbeatTTL = 5 * time.Second
+	}
+	if opt.ReconcileInterval <= 0 {
+		opt.ReconcileInterval = 500 * time.Millisecond
+	}
+	if opt.ProxyTimeout <= 0 {
+		opt.ProxyTimeout = 30 * time.Second
+	}
+	c := &Coordinator{
+		opt:     opt,
+		met:     newClusterMetrics(),
+		proxy:   &http.Client{Timeout: opt.ProxyTimeout},
+		stream:  &http.Client{},
+		start:   time.Now(),
+		ring:    NewRing(opt.VNodes),
+		workers: map[string]*workerEntry{},
+		pending: map[string]*pendingJob{},
+		stop:    make(chan struct{}),
+	}
+	c.mux = c.routes()
+	c.loopWG.Add(1)
+	go c.reconcileLoop()
+	return c
+}
+
+// Handler returns the coordinator's HTTP handler.
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// Close stops the reconcile loop. In-flight proxied requests finish on
+// their own; workers keep running (the coordinator owns no jobs).
+func (c *Coordinator) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.loopWG.Wait()
+}
+
+func (c *Coordinator) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/cluster/join", c.handleJoin)
+	mux.HandleFunc("POST /api/v1/cluster/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("POST /api/v1/cluster/leave", c.handleLeave)
+	mux.HandleFunc("GET /api/v1/cluster/workers", c.handleWorkers)
+	mux.HandleFunc("POST /api/v1/jobs", c.handleSubmit)
+	mux.HandleFunc("GET /api/v1/jobs/{id}", c.handleJobGet)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/result", c.handleJobGet)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/events", c.handleEvents)
+	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	mux.HandleFunc("GET /healthz", c.handleHealthz)
+	mux.HandleFunc("GET /livez", c.handleHealthz)
+	return mux
+}
+
+// ---- membership ----
+
+// upsertWorker registers or refreshes a worker. Heartbeats carry the
+// full registration payload, so membership converges after coordinator
+// restarts without any worker-side special casing.
+func (c *Coordinator) upsertWorker(id, addr string, now time.Time) *workerEntry {
+	w := c.workers[id]
+	if w == nil {
+		w = &workerEntry{id: id, addr: addr, joined: now}
+		c.workers[id] = w
+		c.met.joins.Add(1)
+	}
+	if addr != "" {
+		w.addr = addr
+	}
+	w.lastSeen = now
+	if !w.draining {
+		c.ring.Add(id)
+	}
+	return w
+}
+
+// dropFromRing stops routing new work to id. lost=true additionally
+// forgets the worker entirely (its address is unreachable), which is
+// what flags its pending jobs for re-routing.
+func (c *Coordinator) dropFromRing(id string, lost bool) {
+	c.ring.Remove(id)
+	w := c.workers[id]
+	if w == nil {
+		return
+	}
+	if lost {
+		delete(c.workers, id)
+		c.met.workersLost.Add(1)
+	} else {
+		w.draining = true
+	}
+}
+
+func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req JoinRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.ID == "" || req.Addr == "" {
+		writeError(w, http.StatusBadRequest, "join needs id and addr")
+		return
+	}
+	c.mu.Lock()
+	entry := c.upsertWorker(req.ID, req.Addr, time.Now())
+	entry.draining = false
+	c.ring.Add(req.ID)
+	n := c.ring.Len()
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"status": "joined", "workers": n})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.ID == "" {
+		writeError(w, http.StatusBadRequest, "heartbeat needs id")
+		return
+	}
+	c.mu.Lock()
+	entry := c.upsertWorker(req.ID, req.Addr, time.Now())
+	entry.queueDepth = req.QueueDepth
+	entry.simsExecuted = req.SimsExecuted
+	if req.Draining && !entry.draining {
+		c.dropFromRing(req.ID, false)
+	}
+	c.mu.Unlock()
+	c.met.heartbeats.Add(1)
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+func (c *Coordinator) handleLeave(w http.ResponseWriter, r *http.Request) {
+	var req LeaveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.ID == "" {
+		writeError(w, http.StatusBadRequest, "leave needs id")
+		return
+	}
+	c.mu.Lock()
+	c.dropFromRing(req.ID, false)
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"status": "draining"})
+}
+
+func (c *Coordinator) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	now := time.Now()
+	c.mu.Lock()
+	out := make([]WorkerStatus, 0, len(c.workers))
+	for _, e := range c.workers {
+		out = append(out, WorkerStatus{
+			ID: e.id, Addr: e.addr,
+			JoinedAt: e.joined, LastSeen: e.lastSeen,
+			HeartbeatAgeSeconds: now.Sub(e.lastSeen).Seconds(),
+			QueueDepth:          e.queueDepth,
+			SimsExecuted:        e.simsExecuted,
+			Draining:            e.draining,
+			Routable:            c.ring.Has(e.id),
+		})
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	writeJSON(w, http.StatusOK, map[string]any{"workers": out})
+}
+
+// ---- job routing ----
+
+// handleSubmit resolves the submission to its config-hash identity,
+// routes it to the key's ring owner, and walks the ring on worker loss.
+// The worker's response (202 created, 200 dedup/cache hit, 429
+// backpressure, 4xx validation) passes through unchanged, plus a header
+// naming the worker that answered.
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading request: "+err.Error())
+		return
+	}
+	var req server.SubmitRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+		return
+	}
+	job, err := server.BuildJob(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if job.Uncacheable {
+		writeError(w, http.StatusBadRequest, "custom-policy configs cannot be submitted over HTTP")
+		return
+	}
+	c.met.submissions.Add(1)
+	c.routeSubmit(w, job.Key, body, false)
+}
+
+// routeSubmit proxies one submission body to its worker. reroute marks
+// replays of an already-tracked job after worker loss (counted
+// separately, and allowed to re-route even while tracked).
+func (c *Coordinator) routeSubmit(w http.ResponseWriter, key string, body []byte, reroute bool) {
+	tried := map[string]bool{}
+	for {
+		id, addr, ok := c.pickWorker(key, reroute, tried)
+		if !ok {
+			c.met.noWorker.Add(1)
+			if w != nil {
+				w.Header().Set("Retry-After", "5")
+				writeError(w, http.StatusServiceUnavailable, "no routable workers in the cluster")
+			}
+			return
+		}
+		tried[id] = true
+		resp, err := c.proxy.Post(addr+"/api/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			// The worker's address does not answer: declare it lost and
+			// walk to the next ring position.
+			c.workerDown(id, true)
+			continue
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			// The worker is draining but never told us: stop routing to
+			// it and retry elsewhere.
+			resp.Body.Close()
+			c.workerDown(id, false)
+			continue
+		}
+		c.finishSubmit(w, resp, id, key, body, reroute)
+		return
+	}
+}
+
+// pickWorker chooses the worker for key, skipping workers this routing
+// attempt already tried (guaranteeing the retry walk terminates). A
+// tracked job sticks to its assigned worker — even while that worker
+// drains, since drain finishes owned jobs and readiness does not close
+// intake — so live duplicates keep deduping onto the one record that is
+// actually running; reroutes and untracked keys go to the ring owner.
+func (c *Coordinator) pickWorker(key string, reroute bool, tried map[string]bool) (id, addr string, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !reroute {
+		if p := c.pending[key]; p != nil && !tried[p.worker] {
+			if e := c.workers[p.worker]; e != nil {
+				return e.id, e.addr, true
+			}
+		}
+	}
+	for _, cand := range c.ring.Sequence(key) {
+		if tried[cand] {
+			continue
+		}
+		if e := c.workers[cand]; e != nil {
+			return e.id, e.addr, true
+		}
+	}
+	return "", "", false
+}
+
+// workerDown records a routing failure against a worker.
+func (c *Coordinator) workerDown(id string, lost bool) {
+	c.met.proxyErrors.Add(1)
+	c.mu.Lock()
+	c.dropFromRing(id, lost)
+	c.mu.Unlock()
+}
+
+// finishSubmit relays the worker's submission response and updates the
+// pending table: non-terminal jobs are tracked for reconciliation,
+// finished ones (cache hits) and rejected ones (429, 4xx) are not.
+func (c *Coordinator) finishSubmit(w http.ResponseWriter, resp *http.Response, workerID, key string, body []byte, reroute bool) {
+	defer resp.Body.Close()
+	relay, err := io.ReadAll(resp.Body)
+	if err != nil {
+		relay = []byte(`{"error":"worker response lost"}`)
+	}
+
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		var sub server.SubmitResponse
+		terminal := false
+		if json.Unmarshal(relay, &sub) == nil {
+			terminal = sub.State == engine.JobStateDone.String() || sub.State == engine.JobStateFailed.String()
+		}
+		c.mu.Lock()
+		if terminal {
+			delete(c.pending, key)
+		} else if p := c.pending[key]; p != nil {
+			p.worker = workerID
+			if reroute {
+				p.reroutes++
+			}
+		} else {
+			c.pending[key] = &pendingJob{
+				key: key, body: body, worker: workerID, submitted: time.Now(),
+			}
+		}
+		c.mu.Unlock()
+		if reroute {
+			c.met.reroutes.Add(1)
+		}
+	} else if resp.StatusCode == http.StatusTooManyRequests {
+		c.met.busy.Add(1)
+	}
+
+	if w == nil {
+		return // reconcile-loop replay: no client waiting
+	}
+	h := w.Header()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		h.Set("Content-Type", ct)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		h.Set("Retry-After", ra)
+	}
+	h.Set(workerHeader, workerID)
+	w.WriteHeader(resp.StatusCode)
+	_, _ = w.Write(relay)
+}
+
+// handleJobGet proxies status and result reads to the job's worker,
+// falling back to the shared artifact store for finished jobs no live
+// worker remembers.
+func (c *Coordinator) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("id")
+	wantResult := strings.HasSuffix(r.URL.Path, "/result")
+
+	if id, addr, ok := c.assignment(key); ok {
+		resp, err := c.proxy.Get(addr + r.URL.Path)
+		if err != nil {
+			c.workerDown(id, true)
+		} else {
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusNotFound {
+				relayResponse(w, resp, id)
+				return
+			}
+		}
+	}
+	// No worker (or none that knows the job): finished runs are still
+	// servable from the content-addressed store.
+	if m, ok := c.artifactMetrics(key); ok {
+		if wantResult {
+			writeJSON(w, http.StatusOK, server.JobResult{ID: key, Cached: true, Metrics: m})
+		} else {
+			writeJSON(w, http.StatusOK, server.JobStatus{
+				ID: key, Scheme: m.Scheme, Workload: m.Workload,
+				State: engine.JobStateDone.String(), Cached: true,
+			})
+		}
+		return
+	}
+	writeError(w, http.StatusNotFound, "unknown job "+key)
+}
+
+// handleEvents proxies a job's progress stream from its worker,
+// flushing each chunk through so SSE/NDJSON stay live end to end.
+func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("id")
+	id, addr, ok := c.assignment(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job "+key)
+		return
+	}
+	url := addr + r.URL.Path
+	if r.URL.RawQuery != "" {
+		url += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, url, nil)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	req.Header.Set("Accept", r.Header.Get("Accept"))
+	resp, err := c.stream.Do(req)
+	if err != nil {
+		c.workerDown(id, true)
+		writeError(w, http.StatusBadGateway, "worker unreachable: "+err.Error())
+		return
+	}
+	defer resp.Body.Close()
+	h := w.Header()
+	for _, name := range []string{"Content-Type", "Cache-Control", "Connection"} {
+		if v := resp.Header.Get(name); v != "" {
+			h.Set(name, v)
+		}
+	}
+	h.Set(workerHeader, id)
+	w.WriteHeader(resp.StatusCode)
+	flusher, canFlush := w.(http.Flusher)
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if canFlush {
+				flusher.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// assignment resolves a job key to the worker that should answer for
+// it: its tracked assignment if pending, else the ring owner.
+func (c *Coordinator) assignment(key string) (id, addr string, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p := c.pending[key]; p != nil {
+		if e := c.workers[p.worker]; e != nil {
+			return e.id, e.addr, true
+		}
+	}
+	if owner, ok := c.ring.Owner(key); ok {
+		if e := c.workers[owner]; e != nil {
+			return e.id, e.addr, true
+		}
+	}
+	return "", "", false
+}
+
+// artifactMetrics probes the shared store for a finished run.
+func (c *Coordinator) artifactMetrics(key string) (sim.Metrics, bool) {
+	if c.opt.Artifacts == nil || checkKey(key) != nil {
+		return sim.Metrics{}, false
+	}
+	blob, hit, err := c.opt.Artifacts.Get(artifact.KindRun, key)
+	if err != nil || !hit {
+		return sim.Metrics{}, false
+	}
+	return engine.DecodeRunEntry(key, blob)
+}
+
+// relayResponse copies a proxied response to the client.
+func relayResponse(w http.ResponseWriter, resp *http.Response, workerID string) {
+	h := w.Header()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		h.Set("Content-Type", ct)
+	}
+	h.Set(workerHeader, workerID)
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// ---- reconciliation ----
+
+// reconcileLoop is the control loop: expire workers whose heartbeats
+// stopped, re-route the jobs they were holding, and retire pending jobs
+// that finished.
+func (c *Coordinator) reconcileLoop() {
+	defer c.loopWG.Done()
+	ticker := time.NewTicker(c.opt.ReconcileInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+			c.reconcile()
+		}
+	}
+}
+
+// reconcile runs one control-loop pass.
+func (c *Coordinator) reconcile() {
+	now := time.Now()
+
+	// 1. Expire workers whose heartbeats went stale.
+	c.mu.Lock()
+	for id, e := range c.workers {
+		if now.Sub(e.lastSeen) > c.opt.HeartbeatTTL {
+			c.dropFromRing(id, true)
+		}
+	}
+	// 2. Collect pending jobs: orphans (assigned worker gone) need
+	// re-routing, the rest get a status poll.
+	type probe struct {
+		key, worker, addr string
+		body              []byte
+	}
+	var orphans, polls []probe
+	for key, p := range c.pending {
+		if e := c.workers[p.worker]; e == nil {
+			orphans = append(orphans, probe{key: key, body: p.body})
+		} else {
+			polls = append(polls, probe{key: key, worker: e.id, addr: e.addr})
+		}
+	}
+	c.mu.Unlock()
+
+	// 3. Replay orphans onto their new ring owners. The replacement
+	// either finds the finished result in the shared store (instant
+	// cache hit) or runs the deterministic simulation itself; both are
+	// correct, and the per-key execution total stays at one whenever
+	// the lost worker never completed the run.
+	for _, o := range orphans {
+		c.routeSubmit(nil, o.key, o.body, true)
+	}
+
+	// 4. Poll tracked jobs and retire the finished ones.
+	for _, p := range polls {
+		resp, err := c.proxy.Get(p.addr + "/api/v1/jobs/" + p.key)
+		if err != nil {
+			c.workerDown(p.worker, true) // next pass reroutes its jobs
+			continue
+		}
+		var st server.JobStatus
+		decErr := json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusNotFound:
+			// The worker restarted and lost its registry: replay (its
+			// shared-store probe makes this free if the run finished).
+			c.routeSubmit(nil, p.key, c.pendingBody(p.key), true)
+		case resp.StatusCode == http.StatusOK && decErr == nil &&
+			(st.State == engine.JobStateDone.String() || st.State == engine.JobStateFailed.String()):
+			c.mu.Lock()
+			delete(c.pending, p.key)
+			c.mu.Unlock()
+			if st.State == engine.JobStateDone.String() {
+				c.met.completed.Add(1)
+			} else {
+				c.met.failed.Add(1)
+			}
+		}
+	}
+}
+
+// pendingBody fetches a tracked job's replay body.
+func (c *Coordinator) pendingBody(key string) []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p := c.pending[key]; p != nil {
+		return p.body
+	}
+	return nil
+}
+
+// Reconcile runs one reconciliation pass synchronously (tests and the
+// smoke harness use it to force deterministic failover timing).
+func (c *Coordinator) Reconcile() { c.reconcile() }
+
+// PendingJobs reports how many routed jobs have not been seen finishing.
+func (c *Coordinator) PendingJobs() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
+// Workers reports how many workers are currently routable.
+func (c *Coordinator) Workers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ring.Len()
+}
+
+// ---- probes and metrics ----
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	now := time.Now()
+	c.mu.Lock()
+	routable := c.ring.Len()
+	known := len(c.workers)
+	pending := len(c.pending)
+	c.mu.Unlock()
+	status := "ok"
+	if routable == 0 {
+		status = "no-workers"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":           status,
+		"role":             "coordinator",
+		"version":          buildinfo.Version(),
+		"uptime_seconds":   now.Sub(c.start).Seconds(),
+		"workers_routable": routable,
+		"workers_known":    known,
+		"jobs_pending":     pending,
+	})
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	now := time.Now()
+	c.mu.Lock()
+	rows := make([]WorkerStatus, 0, len(c.workers))
+	for _, e := range c.workers {
+		rows = append(rows, WorkerStatus{
+			ID: e.id, HeartbeatAgeSeconds: now.Sub(e.lastSeen).Seconds(),
+			QueueDepth: e.queueDepth, SimsExecuted: e.simsExecuted,
+			Draining: e.draining, Routable: c.ring.Has(e.id),
+		})
+	}
+	routable := c.ring.Len()
+	pending := len(c.pending)
+	c.mu.Unlock()
+	sort.Slice(rows, func(i, j int) bool { return rows[i].ID < rows[j].ID })
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	c.met.render(w, routable, pending, now.Sub(c.start).Seconds(), rows)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// checkKey guards artifact probes against non-hash path segments.
+func checkKey(key string) error {
+	for _, r := range key {
+		if (r < '0' || r > '9') && (r < 'a' || r > 'f') {
+			return fmt.Errorf("cluster: %q is not a config hash", key)
+		}
+	}
+	if len(key) < 6 {
+		return fmt.Errorf("cluster: %q is not a config hash", key)
+	}
+	return nil
+}

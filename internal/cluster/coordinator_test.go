@@ -1,0 +1,556 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rrmpcm/internal/cluster/artifact"
+	"rrmpcm/internal/engine"
+	"rrmpcm/internal/server"
+	"rrmpcm/internal/sim"
+)
+
+// ---- harness ----
+
+// fakeMetrics is the deterministic fake simulation result: a pure
+// function of the config, so a rerouted re-run reproduces the original
+// bytes exactly.
+func fakeMetrics(cfg sim.Config) sim.Metrics {
+	return sim.Metrics{
+		Scheme: cfg.Scheme.Name(), Workload: cfg.Workload.Name,
+		IPC: float64(cfg.Seed), Instructions: cfg.Seed,
+	}
+}
+
+// simCounter tracks completed (not merely launched) simulations per
+// seed — the zero-duplicate proof: no seed may complete twice anywhere
+// in the fleet, even across a worker loss.
+type simCounter struct {
+	mu        sync.Mutex
+	completed map[uint64]int
+}
+
+func newSimCounter() *simCounter { return &simCounter{completed: map[uint64]int{}} }
+
+func (c *simCounter) sim(ctx context.Context, cfg sim.Config) (sim.Metrics, error) {
+	c.mu.Lock()
+	c.completed[cfg.Seed]++
+	c.mu.Unlock()
+	return fakeMetrics(cfg), nil
+}
+
+// gated returns a SimFunc that blocks until release closes (or the run
+// is cancelled, which does not count as completed).
+func (c *simCounter) gated(release <-chan struct{}) engine.SimFunc {
+	return func(ctx context.Context, cfg sim.Config) (sim.Metrics, error) {
+		select {
+		case <-release:
+			return c.sim(ctx, cfg)
+		case <-ctx.Done():
+			return sim.Metrics{}, ctx.Err()
+		}
+	}
+}
+
+func (c *simCounter) total() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, v := range c.completed {
+		n += v
+	}
+	return n
+}
+
+func (c *simCounter) maxPerSeed() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := 0
+	for _, v := range c.completed {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+type testWorker struct {
+	id  string
+	srv *server.Server
+	ts  *httptest.Server
+}
+
+// startWorker builds a worker server over the shared artifact store
+// with an injected simulation, fronted by httptest.
+func startWorker(t *testing.T, id string, store artifact.Store, simFn engine.SimFunc) *testWorker {
+	t.Helper()
+	return startWorkerOpt(t, id, server.Options{
+		Workers: 2, QueueSize: 64,
+		Cache: artifact.RunCache{S: store},
+		Sim:   simFn,
+	})
+}
+
+// startWorkerOpt is startWorker with full control over server.Options
+// (the load harness raises queue and worker counts).
+func startWorkerOpt(t *testing.T, id string, opt server.Options) *testWorker {
+	t.Helper()
+	srv, err := server.New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	w := &testWorker{id: id, srv: srv, ts: ts}
+	t.Cleanup(func() { w.kill() })
+	return w
+}
+
+// kill simulates losing the worker mid-flight: its address stops
+// answering and its in-flight simulations abort through their context
+// (so they never complete, never store, and never count). Idempotent.
+func (w *testWorker) kill() {
+	w.ts.CloseClientConnections()
+	w.ts.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_ = w.srv.Shutdown(ctx)
+}
+
+// startCoordinator builds a coordinator with manual reconciliation
+// (tests drive Reconcile explicitly for deterministic failover timing).
+func startCoordinator(t *testing.T, opt CoordinatorOptions) (*Coordinator, *httptest.Server) {
+	t.Helper()
+	if opt.HeartbeatTTL == 0 {
+		opt.HeartbeatTTL = time.Hour
+	}
+	if opt.ReconcileInterval == 0 {
+		opt.ReconcileInterval = time.Hour
+	}
+	coord := NewCoordinator(opt)
+	cts := httptest.NewServer(coord.Handler())
+	t.Cleanup(func() {
+		cts.Close()
+		coord.Close()
+	})
+	return coord, cts
+}
+
+func joinWorker(t *testing.T, cts *httptest.Server, w *testWorker) {
+	t.Helper()
+	blob, _ := json.Marshal(JoinRequest{ID: w.id, Addr: w.ts.URL})
+	resp, err := http.Post(cts.URL+"/api/v1/cluster/join", "application/json", strings.NewReader(string(blob)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("join %s: HTTP %d", w.id, resp.StatusCode)
+	}
+}
+
+func clusterBody(seed uint64) string {
+	return fmt.Sprintf(`{"scheme":"static-7","workload":"GemsFDTD","quick":true,"seed":%d}`, seed)
+}
+
+// postCluster submits through the coordinator and reports which worker
+// answered (the X-Rrm-Worker stamp).
+func postCluster(t *testing.T, base, body string) (int, server.SubmitResponse, string) {
+	t.Helper()
+	resp, err := http.Post(base+"/api/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	blob, _ := io.ReadAll(resp.Body)
+	var sr server.SubmitResponse
+	if resp.StatusCode < 300 {
+		if err := json.Unmarshal(blob, &sr); err != nil {
+			t.Fatalf("decoding %q: %v", blob, err)
+		}
+	}
+	return resp.StatusCode, sr, resp.Header.Get(workerHeader)
+}
+
+// waitClusterDone polls a job through the coordinator until terminal.
+func waitClusterDone(t *testing.T, coord *Coordinator, base, id string) server.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/api/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st server.JobStatus
+		decErr := json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK && decErr == nil &&
+			(st.State == "done" || st.State == "failed") {
+			return st
+		}
+		coord.Reconcile()
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish through the coordinator", id)
+	return server.JobStatus{}
+}
+
+func clusterResult(t *testing.T, base, id string) (int, server.JobResult) {
+	t.Helper()
+	resp, err := http.Get(base + "/api/v1/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var jr server.JobResult
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, jr
+}
+
+// ---- tests ----
+
+// TestClusterRoutesAndDedups: submissions spread across the fleet by
+// config hash, identical submissions dedup to one execution (live and
+// cached), and results proxied back match the deterministic sim.
+func TestClusterRoutesAndDedups(t *testing.T) {
+	store := artifact.NewMem()
+	counter := newSimCounter()
+	workers := []*testWorker{
+		startWorker(t, "w0", store, counter.sim),
+		startWorker(t, "w1", store, counter.sim),
+		startWorker(t, "w2", store, counter.sim),
+	}
+	coord, cts := startCoordinator(t, CoordinatorOptions{Artifacts: store})
+	for _, w := range workers {
+		joinWorker(t, cts, w)
+	}
+	if coord.Workers() != 3 {
+		t.Fatalf("routable workers = %d, want 3", coord.Workers())
+	}
+
+	const n = 24
+	assigned := map[uint64]string{}
+	ids := map[uint64]string{}
+	for seed := uint64(1); seed <= n; seed++ {
+		code, sr, worker := postCluster(t, cts.URL, clusterBody(seed))
+		if code != http.StatusAccepted && code != http.StatusOK {
+			t.Fatalf("seed %d: submit HTTP %d", seed, code)
+		}
+		if worker == "" {
+			t.Fatalf("seed %d: no %s header on proxied response", seed, workerHeader)
+		}
+		assigned[seed] = worker
+		ids[seed] = sr.ID
+	}
+	byWorker := map[string]int{}
+	for _, w := range assigned {
+		byWorker[w]++
+	}
+	if len(byWorker) < 2 {
+		t.Errorf("all %d jobs routed to one worker: %v", n, byWorker)
+	}
+
+	for seed := uint64(1); seed <= n; seed++ {
+		if st := waitClusterDone(t, coord, cts.URL, ids[seed]); st.State != "done" {
+			t.Fatalf("seed %d: state %q", seed, st.State)
+		}
+		code, jr := clusterResult(t, cts.URL, ids[seed])
+		if code != http.StatusOK || jr.Metrics.IPC != float64(seed) || jr.Metrics.Instructions != seed {
+			t.Fatalf("seed %d: result HTTP %d metrics %+v", seed, code, jr.Metrics)
+		}
+	}
+	if counter.total() != n {
+		t.Fatalf("%d sims completed for %d unique configs", counter.total(), n)
+	}
+
+	// Identical resubmissions: same identity, same worker, no new sims.
+	for seed := uint64(1); seed <= n; seed++ {
+		code, sr, worker := postCluster(t, cts.URL, clusterBody(seed))
+		if code != http.StatusOK {
+			t.Fatalf("seed %d: resubmit HTTP %d, want 200 (idempotency hit)", seed, code)
+		}
+		if sr.Created {
+			t.Fatalf("seed %d: resubmission created a new job", seed)
+		}
+		if sr.ID != ids[seed] {
+			t.Fatalf("seed %d: resubmission id %s != %s", seed, sr.ID, ids[seed])
+		}
+		if worker != assigned[seed] {
+			t.Fatalf("seed %d: resubmission routed to %s, original to %s", seed, worker, assigned[seed])
+		}
+	}
+	if counter.total() != n || counter.maxPerSeed() != 1 {
+		t.Fatalf("resubmission caused duplicate sims: total %d, max per key %d",
+			counter.total(), counter.maxPerSeed())
+	}
+
+	// Engine counters agree: the fleet launched exactly n simulations.
+	var launched uint64
+	for _, w := range workers {
+		launched += w.srv.SimsExecuted()
+	}
+	if launched != n {
+		t.Fatalf("fleet launched %d sims, want %d", launched, n)
+	}
+}
+
+// TestClusterLiveDuplicateSticksToWorker: a duplicate of an in-flight
+// job routes to the worker already running it (registry dedup), even
+// though ring churn could have moved the key's owner.
+func TestClusterLiveDuplicateSticksToWorker(t *testing.T) {
+	store := artifact.NewMem()
+	counter := newSimCounter()
+	release := make(chan struct{})
+	w0 := startWorker(t, "w0", store, counter.gated(release))
+	w1 := startWorker(t, "w1", store, counter.gated(release))
+	coord, cts := startCoordinator(t, CoordinatorOptions{Artifacts: store})
+	joinWorker(t, cts, w0)
+	joinWorker(t, cts, w1)
+
+	_, first, workerA := postCluster(t, cts.URL, clusterBody(7))
+	// Membership churn: add a third worker so the ring owner may move.
+	w2 := startWorker(t, "w2", store, counter.gated(release))
+	joinWorker(t, cts, w2)
+	_, second, workerB := postCluster(t, cts.URL, clusterBody(7))
+	if workerB != workerA {
+		t.Fatalf("live duplicate routed to %s, original in flight on %s", workerB, workerA)
+	}
+	if second.Created || second.ID != first.ID {
+		t.Fatalf("live duplicate not deduped: created=%v id=%s/%s", second.Created, second.ID, first.ID)
+	}
+
+	close(release)
+	waitClusterDone(t, coord, cts.URL, first.ID)
+	if counter.total() != 1 {
+		t.Fatalf("%d sims completed for one config", counter.total())
+	}
+}
+
+// TestClusterWorkerLossReroutes: kill a worker holding in-flight jobs;
+// reconciliation re-routes its jobs to survivors, every job still
+// finishes with the right bytes, and no config simulates twice.
+func TestClusterWorkerLossReroutes(t *testing.T) {
+	store := artifact.NewMem()
+	counter := newSimCounter()
+	release := make(chan struct{})
+	w0 := startWorker(t, "w0", store, counter.gated(release))
+	w1 := startWorker(t, "w1", store, counter.gated(release))
+	coord, cts := startCoordinator(t, CoordinatorOptions{Artifacts: store})
+	joinWorker(t, cts, w0)
+	joinWorker(t, cts, w1)
+
+	const n = 10
+	ids := map[uint64]string{}
+	killed := ""
+	byWorker := map[string][]uint64{}
+	for seed := uint64(1); seed <= n; seed++ {
+		code, sr, worker := postCluster(t, cts.URL, clusterBody(seed))
+		if code != http.StatusAccepted {
+			t.Fatalf("seed %d: submit HTTP %d", seed, code)
+		}
+		ids[seed] = sr.ID
+		byWorker[worker] = append(byWorker[worker], seed)
+	}
+	if len(byWorker["w0"]) == 0 || len(byWorker["w1"]) == 0 {
+		t.Fatalf("need jobs on both workers to test loss, got %v", byWorker)
+	}
+	killed = "w0"
+
+	// Lose w0 while everything is in flight: its sims abort through
+	// their context (they never complete), its address goes dark.
+	w0.kill()
+	close(release)
+
+	// Drive reconciliation until the orphans are rerouted and retired.
+	deadline := time.Now().Add(15 * time.Second)
+	for coord.PendingJobs() > 0 && time.Now().Before(deadline) {
+		coord.Reconcile()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if coord.PendingJobs() != 0 {
+		t.Fatalf("%d jobs still pending after worker loss", coord.PendingJobs())
+	}
+	if coord.Workers() != 1 {
+		t.Fatalf("routable workers = %d after killing %s, want 1", coord.Workers(), killed)
+	}
+
+	for seed := uint64(1); seed <= n; seed++ {
+		code, jr := clusterResult(t, cts.URL, ids[seed])
+		if code != http.StatusOK || jr.Metrics.IPC != float64(seed) || jr.Metrics.Instructions != seed {
+			t.Fatalf("seed %d: post-failover result HTTP %d metrics %+v", seed, code, jr.Metrics)
+		}
+	}
+	if counter.maxPerSeed() != 1 {
+		t.Fatalf("a config completed %d times after failover, want 1", counter.maxPerSeed())
+	}
+	if counter.total() != n {
+		t.Fatalf("%d sims completed for %d configs after failover", counter.total(), n)
+	}
+}
+
+// TestClusterAgentDrain: agents register workers via heartbeat, and
+// Agent.Close performs the graceful-drain handshake — the worker goes
+// unready, leaves the ring, and new work routes only to survivors.
+func TestClusterAgentDrain(t *testing.T) {
+	store := artifact.NewMem()
+	counter := newSimCounter()
+	w0 := startWorker(t, "w0", store, counter.sim)
+	w1 := startWorker(t, "w1", store, counter.sim)
+	coord, cts := startCoordinator(t, CoordinatorOptions{})
+
+	a0, err := StartAgent(w0.srv, AgentOptions{
+		Coordinator: cts.URL, ID: w0.id, Advertise: w0.ts.URL, Interval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := StartAgent(w1.srv, AgentOptions{
+		Coordinator: cts.URL, ID: w1.id, Advertise: w1.ts.URL, Interval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = a0.Close(ctx)
+		_ = a1.Close(ctx)
+	})
+
+	deadline := time.Now().Add(10 * time.Second)
+	for coord.Workers() < 2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if coord.Workers() != 2 {
+		t.Fatalf("agents registered %d workers, want 2", coord.Workers())
+	}
+
+	// Drain w0: it must go unready and off the ring.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := a0.Close(ctx); err != nil && err != context.DeadlineExceeded {
+		t.Fatalf("agent close: %v", err)
+	}
+	if w0.srv.Ready() {
+		t.Error("drained worker still Ready()")
+	}
+	for coord.Workers() != 1 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if coord.Workers() != 1 {
+		t.Fatalf("routable workers = %d after drain, want 1", coord.Workers())
+	}
+
+	for seed := uint64(100); seed < 110; seed++ {
+		code, _, worker := postCluster(t, cts.URL, clusterBody(seed))
+		if code != http.StatusAccepted && code != http.StatusOK {
+			t.Fatalf("seed %d: submit HTTP %d", seed, code)
+		}
+		if worker != "w1" {
+			t.Fatalf("seed %d routed to %s after w0 drained", seed, worker)
+		}
+	}
+
+	// Cluster metrics expose the fleet view.
+	resp, err := http.Get(cts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(blob)
+	for _, want := range []string{
+		"rrmserve_cluster_workers 1",
+		`rrmserve_cluster_worker_queue_depth{worker="w1"}`,
+		"rrmserve_cluster_heartbeats_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("cluster /metrics missing %q", want)
+		}
+	}
+}
+
+// TestClusterHeartbeatTTLExpiry: a worker that stops heartbeating is
+// expired by the reconcile loop and leaves the ring.
+func TestClusterHeartbeatTTLExpiry(t *testing.T) {
+	store := artifact.NewMem()
+	counter := newSimCounter()
+	w0 := startWorker(t, "w0", store, counter.sim)
+	coord, cts := startCoordinator(t, CoordinatorOptions{HeartbeatTTL: 50 * time.Millisecond})
+	joinWorker(t, cts, w0)
+	if coord.Workers() != 1 {
+		t.Fatalf("workers = %d after join", coord.Workers())
+	}
+	time.Sleep(80 * time.Millisecond)
+	coord.Reconcile()
+	if coord.Workers() != 0 {
+		t.Fatalf("worker survived %v without heartbeats", 80*time.Millisecond)
+	}
+}
+
+// TestClusterResultOutlivesWorkers: finished results stay readable
+// from the coordinator via the shared artifact store after every
+// worker is gone.
+func TestClusterResultOutlivesWorkers(t *testing.T) {
+	store := artifact.NewMem()
+	counter := newSimCounter()
+	w0 := startWorker(t, "w0", store, counter.sim)
+	coord, cts := startCoordinator(t, CoordinatorOptions{Artifacts: store})
+	joinWorker(t, cts, w0)
+
+	code, sr, _ := postCluster(t, cts.URL, clusterBody(42))
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("submit HTTP %d", code)
+	}
+	waitClusterDone(t, coord, cts.URL, sr.ID)
+
+	w0.kill()
+	deadline := time.Now().Add(10 * time.Second)
+	for coord.Workers() > 0 && time.Now().Before(deadline) {
+		coord.Reconcile()
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	code, jr := clusterResult(t, cts.URL, sr.ID)
+	if code != http.StatusOK || !jr.Cached || jr.Metrics.IPC != 42 {
+		t.Fatalf("artifact-store result: HTTP %d cached=%v metrics %+v", code, jr.Cached, jr.Metrics)
+	}
+	resp, err := http.Get(cts.URL + "/api/v1/jobs/" + sr.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st server.JobStatus
+	decErr := json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || decErr != nil || st.State != "done" || !st.Cached {
+		t.Fatalf("artifact-store status: HTTP %d state %q cached=%v", resp.StatusCode, st.State, st.Cached)
+	}
+}
+
+// TestClusterNoWorkers: an empty ring refuses submissions with 503 and
+// a Retry-After hint rather than hanging or erroring opaquely.
+func TestClusterNoWorkers(t *testing.T) {
+	_, cts := startCoordinator(t, CoordinatorOptions{})
+	resp, err := http.Post(cts.URL+"/api/v1/jobs", "application/json", strings.NewReader(clusterBody(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit on empty cluster: HTTP %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("no Retry-After hint on empty-cluster 503")
+	}
+}

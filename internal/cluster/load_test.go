@@ -1,0 +1,227 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rrmpcm/internal/cluster/artifact"
+	"rrmpcm/internal/server"
+)
+
+// loadN returns the submission count for the load harness. The in-tree
+// default keeps `go test ./...` fast; scripts/cluster_load.sh sets
+// RRM_CLUSTER_LOAD_N=100000 for the full acceptance run.
+func loadN(t *testing.T) int {
+	if s := os.Getenv("RRM_CLUSTER_LOAD_N"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			t.Fatalf("RRM_CLUSTER_LOAD_N=%q is not a positive integer", s)
+		}
+		return n
+	}
+	if testing.Short() {
+		return 300
+	}
+	return 2000
+}
+
+func loadP99Gate(t *testing.T) time.Duration {
+	if s := os.Getenv("RRM_CLUSTER_LOAD_P99_MS"); s != "" {
+		ms, err := strconv.Atoi(s)
+		if err != nil || ms <= 0 {
+			t.Fatalf("RRM_CLUSTER_LOAD_P99_MS=%q is not a positive integer", s)
+		}
+		return time.Duration(ms) * time.Millisecond
+	}
+	return 500 * time.Millisecond
+}
+
+// TestClusterLoadHarness is the acceptance harness for the sweep
+// fabric: N idempotent submissions pushed through a 4-worker cluster
+// with one worker killed mid-run, gated on
+//
+//   - completion: every submission reaches done with correct metrics,
+//   - zero duplicates: fleet-wide, no config completes its simulation
+//     more than once (and engine launch counters corroborate),
+//   - latency: p99 submit round trip under the gate,
+//   - fidelity: result metrics byte-identical to a single-process run.
+func TestClusterLoadHarness(t *testing.T) {
+	n := loadN(t)
+	gate := loadP99Gate(t)
+
+	store := artifact.NewMem()
+	counter := newSimCounter()
+	workers := make([]*testWorker, 4)
+	for i := range workers {
+		workers[i] = startWorkerOpt(t, fmt.Sprintf("w%d", i), server.Options{
+			Workers: 4, QueueSize: 256,
+			Cache: artifact.RunCache{S: store},
+			Sim:   counter.sim,
+		})
+	}
+	coord, cts := startCoordinator(t, CoordinatorOptions{Artifacts: store})
+	for _, w := range workers {
+		joinWorker(t, cts, w)
+	}
+
+	// Submit N unique configs from 16 concurrent clients, killing one
+	// worker once half the load is in. 429 backpressure is retried (the
+	// submissions are idempotent, retrying is always safe); latency is
+	// the full submit round trip including those retries.
+	const clients = 16
+	latencies := make([]time.Duration, n)
+	ids := make([]string, n)
+	var submitted atomic.Int64
+	var killOnce sync.Once
+	killAt := int64(n / 2)
+	seeds := make(chan int)
+	var wg sync.WaitGroup
+	client := &http.Client{Timeout: 30 * time.Second}
+	var failed atomic.Int64
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range seeds {
+				begin := time.Now()
+				deadline := begin.Add(30 * time.Second)
+				for {
+					resp, err := client.Post(cts.URL+"/api/v1/jobs", "application/json",
+						strings.NewReader(clusterBody(uint64(i+1))))
+					if err != nil {
+						t.Errorf("seed %d: %v", i+1, err)
+						failed.Add(1)
+						break
+					}
+					var sr server.SubmitResponse
+					decErr := json.NewDecoder(resp.Body).Decode(&sr)
+					resp.Body.Close()
+					if resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK {
+						if decErr != nil {
+							t.Errorf("seed %d: decoding submit response: %v", i+1, decErr)
+							failed.Add(1)
+							break
+						}
+						latencies[i] = time.Since(begin)
+						ids[i] = sr.ID
+						break
+					}
+					if resp.StatusCode != http.StatusTooManyRequests &&
+						resp.StatusCode != http.StatusServiceUnavailable {
+						t.Errorf("seed %d: submit HTTP %d", i+1, resp.StatusCode)
+						failed.Add(1)
+						break
+					}
+					if time.Now().After(deadline) {
+						t.Errorf("seed %d: still rejected (HTTP %d) after 30s", i+1, resp.StatusCode)
+						failed.Add(1)
+						break
+					}
+					time.Sleep(2 * time.Millisecond)
+				}
+				if submitted.Add(1) == killAt {
+					killOnce.Do(func() {
+						t.Logf("killing worker %s after %d submissions", workers[3].id, killAt)
+						workers[3].kill()
+					})
+				}
+			}
+		}()
+	}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		seeds <- i
+	}
+	close(seeds)
+	wg.Wait()
+	if failed.Load() > 0 {
+		t.Fatalf("%d/%d submissions failed outright", failed.Load(), n)
+	}
+	t.Logf("submitted %d jobs in %s (%0.f/s)", n, time.Since(start).Round(time.Millisecond),
+		float64(n)/time.Since(start).Seconds())
+
+	// Drive reconciliation until the orphaned jobs from the killed
+	// worker are rerouted and every tracked job is retired.
+	deadline := time.Now().Add(5 * time.Minute)
+	for coord.PendingJobs() > 0 && time.Now().Before(deadline) {
+		coord.Reconcile()
+		if coord.PendingJobs() > 0 {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if p := coord.PendingJobs(); p != 0 {
+		t.Fatalf("%d jobs still pending after drain deadline", p)
+	}
+
+	// Zero duplicates, fleet-wide: each config's simulation completed
+	// exactly once, no matter which workers it visited.
+	if counter.total() != n || counter.maxPerSeed() != 1 {
+		t.Fatalf("duplicate simulations: %d completions for %d configs (max per config %d)",
+			counter.total(), n, counter.maxPerSeed())
+	}
+	// Engine launch counters corroborate: the only launches beyond one
+	// per config are the handful the killed worker aborted mid-flight
+	// (they never completed, never stored).
+	var launched uint64
+	for _, w := range workers {
+		launched += w.srv.SimsExecuted()
+	}
+	if launched < uint64(n) || launched > uint64(n)+4 {
+		t.Fatalf("fleet launched %d sims for %d configs (want n..n+4)", launched, n)
+	}
+
+	// p99 submit latency.
+	sorted := append([]time.Duration(nil), latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	p50, p99 := sorted[n/2], sorted[n*99/100]
+	t.Logf("submit latency p50 %s p99 %s (gate %s)", p50, p99, gate)
+	if p99 > gate {
+		t.Fatalf("p99 submit latency %s exceeds gate %s", p99, gate)
+	}
+
+	// Every job completed with the right result, and a sample of the
+	// metrics payloads is byte-identical to a single-process run of the
+	// same configs.
+	sample := n / 40
+	if sample < 50 {
+		sample = 50
+	}
+	step := n / sample
+	if step == 0 {
+		step = 1
+	}
+	soloCounter := newSimCounter()
+	solo := startWorkerOpt(t, "solo", server.Options{
+		Workers: 4, QueueSize: 256,
+		Cache: artifact.RunCache{S: artifact.NewMem()},
+		Sim:   soloCounter.sim,
+	})
+	for i := 0; i < n; i += step {
+		seed := uint64(i + 1)
+		code, jr := clusterResult(t, cts.URL, ids[i])
+		if code != http.StatusOK || jr.Metrics.Instructions != seed {
+			t.Fatalf("seed %d: cluster result HTTP %d metrics %+v", seed, code, jr.Metrics)
+		}
+		scode, ssr, _ := postCluster(t, solo.ts.URL, clusterBody(seed))
+		if scode != http.StatusAccepted && scode != http.StatusOK {
+			t.Fatalf("seed %d: single-process submit HTTP %d", seed, scode)
+		}
+		waitClusterDone(t, coord, solo.ts.URL, ssr.ID)
+		_, sjr := clusterResult(t, solo.ts.URL, ssr.ID)
+		cb, _ := json.Marshal(jr.Metrics)
+		sb, _ := json.Marshal(sjr.Metrics)
+		if !bytes.Equal(cb, sb) {
+			t.Fatalf("seed %d: cluster metrics diverge from single-process run:\n%s\n%s", seed, cb, sb)
+		}
+	}
+}

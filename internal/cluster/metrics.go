@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// clusterMetrics aggregates the coordinator's counters for the
+// Prometheus text exposition at /metrics. Per-worker gauges (queue
+// depth, heartbeat age, sims executed) are rendered from the live
+// worker table at scrape time rather than accumulated.
+type clusterMetrics struct {
+	submissions atomic.Uint64 // POST /api/v1/jobs received and resolved
+	reroutes    atomic.Uint64 // jobs replayed onto a replacement worker
+	busy        atomic.Uint64 // 429 backpressure passed through
+	noWorker    atomic.Uint64 // submissions refused: empty ring
+	proxyErrors atomic.Uint64 // proxied round trips that failed
+	joins       atomic.Uint64 // workers ever registered
+	heartbeats  atomic.Uint64
+	workersLost atomic.Uint64 // workers expired or found unreachable
+	completed   atomic.Uint64 // tracked jobs seen finishing done
+	failed      atomic.Uint64 // tracked jobs seen finishing failed
+}
+
+func newClusterMetrics() *clusterMetrics { return &clusterMetrics{} }
+
+// render writes the exposition. routable/pending/uptime and the
+// per-worker rows are snapshots owned by the coordinator.
+func (m *clusterMetrics) render(w io.Writer, routable, pending int, uptimeSeconds float64, rows []WorkerStatus) {
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	gauge("rrmserve_cluster_workers", "Workers currently routable on the hash ring.", float64(routable))
+	gauge("rrmserve_cluster_pending_jobs", "Routed jobs not yet seen finishing.", float64(pending))
+	gauge("rrmserve_cluster_uptime_seconds", "Seconds since the coordinator started.", uptimeSeconds)
+	counter("rrmserve_cluster_submissions_total", "Job submissions resolved and routed by the coordinator.", m.submissions.Load())
+	counter("rrmserve_cluster_reroutes_total", "Jobs replayed onto a replacement worker after worker loss.", m.reroutes.Load())
+	counter("rrmserve_cluster_busy_total", "Submissions answered 429 by their worker (backpressure passed through).", m.busy.Load())
+	counter("rrmserve_cluster_no_worker_total", "Submissions refused because no worker was routable.", m.noWorker.Load())
+	counter("rrmserve_cluster_proxy_errors_total", "Proxied worker round trips that failed.", m.proxyErrors.Load())
+	counter("rrmserve_cluster_joins_total", "Worker registrations accepted.", m.joins.Load())
+	counter("rrmserve_cluster_heartbeats_total", "Worker heartbeats received.", m.heartbeats.Load())
+	counter("rrmserve_cluster_workers_lost_total", "Workers expired by heartbeat TTL or found unreachable.", m.workersLost.Load())
+	counter("rrmserve_cluster_jobs_completed_total", "Tracked jobs observed finishing successfully.", m.completed.Load())
+	counter("rrmserve_cluster_jobs_failed_total", "Tracked jobs observed finishing with an error.", m.failed.Load())
+
+	perWorker := func(name, help, typ string, value func(WorkerStatus) float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s{worker=%q} %g\n", name, r.ID, value(r))
+		}
+	}
+	if len(rows) > 0 {
+		perWorker("rrmserve_cluster_worker_queue_depth", "Last reported bounded-queue depth per worker.", "gauge",
+			func(r WorkerStatus) float64 { return float64(r.QueueDepth) })
+		perWorker("rrmserve_cluster_worker_heartbeat_age_seconds", "Seconds since each worker's last heartbeat.", "gauge",
+			func(r WorkerStatus) float64 { return r.HeartbeatAgeSeconds })
+		perWorker("rrmserve_cluster_worker_sims_executed", "Simulations each worker has launched (zero-duplicate accounting).", "gauge",
+			func(r WorkerStatus) float64 { return float64(r.SimsExecuted) })
+		perWorker("rrmserve_cluster_worker_draining", "1 while the worker is draining (deregistered, finishing its jobs).", "gauge",
+			func(r WorkerStatus) float64 {
+				if r.Draining {
+					return 1
+				}
+				return 0
+			})
+	}
+}

@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%064x", i*2654435761+17)
+	}
+	return keys
+}
+
+// TestRingOwnerDeterministic: ownership is a pure function of the
+// member set — two rings built in different orders agree on every key.
+func TestRingOwnerDeterministic(t *testing.T) {
+	a, b := NewRing(0), NewRing(0)
+	for _, id := range []string{"w0", "w1", "w2", "w3"} {
+		a.Add(id)
+	}
+	for _, id := range []string{"w3", "w1", "w0", "w2"} {
+		b.Add(id)
+	}
+	for _, key := range ringKeys(500) {
+		oa, ok := a.Owner(key)
+		ob, _ := b.Owner(key)
+		if !ok || oa != ob {
+			t.Fatalf("key %s: owners diverge (%q vs %q)", key[:8], oa, ob)
+		}
+	}
+}
+
+// TestRingBalance: with virtual nodes, four workers each own a
+// non-trivial share of the keyspace.
+func TestRingBalance(t *testing.T) {
+	r := NewRing(0)
+	workers := []string{"w0", "w1", "w2", "w3"}
+	for _, id := range workers {
+		r.Add(id)
+	}
+	counts := map[string]int{}
+	keys := ringKeys(2000)
+	for _, key := range keys {
+		owner, _ := r.Owner(key)
+		counts[owner]++
+	}
+	for _, id := range workers {
+		if counts[id] < len(keys)/20 {
+			t.Errorf("worker %s owns %d/%d keys — ring badly unbalanced (%v)",
+				id, counts[id], len(keys), counts)
+		}
+	}
+}
+
+// TestRingMinimalRemap: removing one worker remaps only the keys that
+// worker owned; every other key keeps its owner. This is the property
+// that keeps live-duplicate dedup local across membership churn.
+func TestRingMinimalRemap(t *testing.T) {
+	r := NewRing(0)
+	for _, id := range []string{"w0", "w1", "w2", "w3"} {
+		r.Add(id)
+	}
+	keys := ringKeys(2000)
+	before := map[string]string{}
+	for _, key := range keys {
+		before[key], _ = r.Owner(key)
+	}
+	r.Remove("w2")
+	for _, key := range keys {
+		after, ok := r.Owner(key)
+		if !ok {
+			t.Fatal("ring emptied by removing one worker")
+		}
+		if before[key] != "w2" && after != before[key] {
+			t.Fatalf("key %s moved %s -> %s though its owner survived", key[:8], before[key], after)
+		}
+		if before[key] == "w2" && after == "w2" {
+			t.Fatalf("key %s still owned by removed worker", key[:8])
+		}
+	}
+}
+
+// TestRingSequence: the failover order starts at the owner and visits
+// every worker exactly once.
+func TestRingSequence(t *testing.T) {
+	r := NewRing(0)
+	workers := []string{"w0", "w1", "w2", "w3", "w4"}
+	for _, id := range workers {
+		r.Add(id)
+	}
+	for _, key := range ringKeys(100) {
+		seq := r.Sequence(key)
+		if len(seq) != len(workers) {
+			t.Fatalf("key %s: sequence %v misses workers", key[:8], seq)
+		}
+		owner, _ := r.Owner(key)
+		if seq[0] != owner {
+			t.Fatalf("key %s: sequence starts at %s, owner is %s", key[:8], seq[0], owner)
+		}
+		seen := map[string]bool{}
+		for _, id := range seq {
+			if seen[id] {
+				t.Fatalf("key %s: %s appears twice in %v", key[:8], id, seq)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+// TestRingEmptyAndRejoin: empty rings refuse ownership; a re-added
+// worker reclaims exactly its old keys (vnode hashes are stable).
+func TestRingEmptyAndRejoin(t *testing.T) {
+	r := NewRing(0)
+	if _, ok := r.Owner("deadbeef"); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+	if seq := r.Sequence("deadbeef"); seq != nil {
+		t.Fatalf("empty ring produced sequence %v", seq)
+	}
+	for _, id := range []string{"w0", "w1", "w2"} {
+		r.Add(id)
+	}
+	keys := ringKeys(500)
+	before := map[string]string{}
+	for _, key := range keys {
+		before[key], _ = r.Owner(key)
+	}
+	r.Remove("w1")
+	r.Add("w1")
+	for _, key := range keys {
+		if after, _ := r.Owner(key); after != before[key] {
+			t.Fatalf("key %s: owner %s != %s after leave/rejoin", key[:8], after, before[key])
+		}
+	}
+}

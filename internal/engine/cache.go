@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,6 +10,7 @@ import (
 	"path/filepath"
 
 	"rrmpcm/internal/sim"
+	"rrmpcm/internal/snapshot"
 )
 
 // cacheFormat guards entry decoding; entries written by an incompatible
@@ -33,6 +35,69 @@ type cacheEntry struct {
 	Scheme   string
 	Workload string
 	Metrics  sim.Metrics
+}
+
+// cacheTrailerPrefix introduces the integrity trailer appended after
+// the entry's JSON document: one line carrying the FNV-1a checksum of
+// every byte before it (the same hash the snapshot codec trails its
+// blobs with). Entries written before the trailer existed (formats 2
+// and 3 up to PR 5) have no trailer and decode unchecked; a present
+// trailer that does not match reads as a miss, so a bit-flipped or
+// truncated entry degrades to recomputation instead of decoding
+// garbage.
+const cacheTrailerPrefix = "\n#fnv1a:"
+
+// EncodeRunEntry serializes one finished run into the run cache's
+// on-disk format: the JSON envelope followed by the FNV-1a integrity
+// trailer. It is exported so shared artifact stores can write entries
+// byte-identical to a local RunCache's.
+func EncodeRunEntry(key string, m sim.Metrics) ([]byte, error) {
+	blob, err := json.MarshalIndent(cacheEntry{
+		Format:   cacheFormat,
+		Key:      key,
+		Scheme:   m.Scheme,
+		Workload: m.Workload,
+		Metrics:  m,
+	}, "", " ")
+	if err != nil {
+		return nil, fmt.Errorf("engine: encoding cache entry: %w", err)
+	}
+	return append(blob, []byte(fmt.Sprintf("%s%016x\n", cacheTrailerPrefix, snapshot.Checksum(blob)))...), nil
+}
+
+// DecodeRunEntry parses a run-cache blob for key. A corrupt, torn,
+// format-incompatible or mis-keyed entry is a miss (ok=false), never an
+// error: the caller recomputes. Legacy entries without the integrity
+// trailer still decode; when a trailer is present its checksum must
+// match.
+func DecodeRunEntry(key string, blob []byte) (sim.Metrics, bool) {
+	if i := bytes.LastIndex(blob, []byte(cacheTrailerPrefix)); i >= 0 {
+		var sum uint64
+		if n, err := fmt.Sscanf(string(blob[i+len(cacheTrailerPrefix):]), "%016x", &sum); n != 1 || err != nil {
+			return sim.Metrics{}, false
+		}
+		if snapshot.Checksum(blob[:i]) != sum {
+			return sim.Metrics{}, false
+		}
+		blob = blob[:i]
+	}
+	var e cacheEntry
+	if json.Unmarshal(blob, &e) != nil || !cacheFormatCompatible(e.Format) || e.Key != key {
+		return sim.Metrics{}, false
+	}
+	return e.Metrics, true
+}
+
+// ResultCache is the engine's seam onto finished-run storage: Load
+// answers "has this config hash already been simulated" and Store
+// persists a fresh result under its hash. RunCache is the local-disk
+// implementation; the cluster's shared artifact store provides another,
+// so any worker can serve any result computed anywhere. Implementations
+// must be safe for concurrent use; Load must report a missing entry as
+// (ok=false, nil error) and reserve errors for real I/O failures.
+type ResultCache interface {
+	Load(key string) (sim.Metrics, bool, error)
+	Store(key string, m sim.Metrics) error
 }
 
 // RunCache is a disk-backed store of finished simulation results, one
@@ -62,7 +127,7 @@ func (c *RunCache) path(key string) string {
 	return filepath.Join(c.dir, key+".json")
 }
 
-// Load fetches the cached metrics for key. A missing, torn, or
+// Load fetches the cached metrics for key. A missing, torn, corrupt or
 // format-incompatible entry is a miss (ok=false, nil error); err is
 // reserved for real I/O failures.
 func (c *RunCache) Load(key string) (sim.Metrics, bool, error) {
@@ -73,24 +138,15 @@ func (c *RunCache) Load(key string) (sim.Metrics, bool, error) {
 	if err != nil {
 		return sim.Metrics{}, false, fmt.Errorf("engine: reading cache entry: %w", err)
 	}
-	var e cacheEntry
-	if json.Unmarshal(blob, &e) != nil || !cacheFormatCompatible(e.Format) || e.Key != key {
-		return sim.Metrics{}, false, nil
-	}
-	return e.Metrics, true, nil
+	m, ok := DecodeRunEntry(key, blob)
+	return m, ok, nil
 }
 
 // Store persists metrics under key atomically.
 func (c *RunCache) Store(key string, m sim.Metrics) error {
-	blob, err := json.MarshalIndent(cacheEntry{
-		Format:   cacheFormat,
-		Key:      key,
-		Scheme:   m.Scheme,
-		Workload: m.Workload,
-		Metrics:  m,
-	}, "", " ")
+	blob, err := EncodeRunEntry(key, m)
 	if err != nil {
-		return fmt.Errorf("engine: encoding cache entry: %w", err)
+		return err
 	}
 	tmp, err := os.CreateTemp(c.dir, key+".tmp-*")
 	if err != nil {

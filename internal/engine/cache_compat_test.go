@@ -1,0 +1,154 @@
+package engine
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rrmpcm/internal/pcm"
+	"rrmpcm/internal/sim"
+)
+
+// TestRunCacheFormatBackwardCompat: entries written by older builds —
+// format 2 (PR 2, mode-name WritesByMode keys, no reliability block)
+// and format 3 (PR 4, reliability + retention_detail blocks) — predate
+// the integrity trailer and must still load under the current decoder.
+// The fixtures are verbatim copies of what those builds put on disk.
+func TestRunCacheFormatBackwardCompat(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenRunCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	install := func(key string) {
+		t.Helper()
+		blob, err := os.ReadFile(filepath.Join("testdata", "runcache", key+".json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, key+".json"), blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	install("f2c0ffee")
+	m2, ok, err := c.Load("f2c0ffee")
+	if err != nil || !ok {
+		t.Fatalf("format-2 entry: ok %v err %v, want hit", ok, err)
+	}
+	if m2.Scheme != "RRM" || m2.Workload != "GemsFDTD" {
+		t.Errorf("format-2 identity = %s/%s, want RRM/GemsFDTD", m2.Scheme, m2.Workload)
+	}
+	if m2.Instructions != 28686552 || m2.WritesByMode[3] != 64180 || m2.WritesByMode[7] != 37030 {
+		t.Errorf("format-2 counters decoded wrong: insts %d writes %v", m2.Instructions, m2.WritesByMode)
+	}
+	if m2.RRM.RegHits != 64180 || m2.RRM.FastRefreshes != 5120 {
+		t.Errorf("format-2 RRM stats decoded wrong: %+v", m2.RRM)
+	}
+	if m2.Reliability != nil || m2.RetentionDetail != nil {
+		t.Error("format-2 entry grew reliability/retention blocks it never had")
+	}
+
+	install("f3deca1")
+	m3, ok, err := c.Load("f3deca1")
+	if err != nil || !ok {
+		t.Fatalf("format-3 entry: ok %v err %v, want hit", ok, err)
+	}
+	if m3.Scheme != "static-3" || m3.Workload != "milc" {
+		t.Errorf("format-3 identity = %s/%s, want static-3/milc", m3.Scheme, m3.Workload)
+	}
+	if m3.Reliability == nil {
+		t.Fatal("format-3 reliability block lost in decode")
+	}
+	if m3.Reliability.CorrectedReads != 2318 || m3.Reliability.UncorrectableReads != 6 {
+		t.Errorf("format-3 reliability counters decoded wrong: %+v", *m3.Reliability)
+	}
+	if m3.RetentionDetail == nil || m3.RetentionDetail.Total != 41 || m3.RetentionDetail.ExpiredOnRewrite != 26 {
+		t.Errorf("format-3 retention detail decoded wrong: %+v", m3.RetentionDetail)
+	}
+	if m3.RetentionViolations != 41 || m3.WritesByMode[3] != 188012 {
+		t.Errorf("format-3 counters decoded wrong: viol %d writes %v", m3.RetentionViolations, m3.WritesByMode)
+	}
+}
+
+// TestRunCacheChecksumTrailer: current-format entries carry an FNV-1a
+// integrity trailer. A mismatching trailer — any corruption of the body
+// or of the trailer itself — reads as a miss (degrade to recompute),
+// while stripping the trailer entirely yields the legacy untrailed
+// layout, which still loads.
+func TestRunCacheChecksumTrailer(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenRunCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Store("k", testMetricsFixture()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "k.json")
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trailerAt := len(pristine) - len("#fnv1a:0000000000000000\n") - 1
+	if string(pristine[trailerAt:trailerAt+8]) != "\n#fnv1a:" {
+		t.Fatalf("stored entry has no integrity trailer: %q", pristine[trailerAt:])
+	}
+
+	corrupt := func(name string, mutate func([]byte) []byte) {
+		t.Helper()
+		if err := os.WriteFile(path, mutate(append([]byte(nil), pristine...)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, err := c.Load("k"); ok || err != nil {
+			t.Errorf("%s: ok %v err %v, want silent miss", name, ok, err)
+		}
+	}
+
+	// One flipped byte inside the JSON body (a digit of a counter).
+	corrupt("bit flip in body", func(b []byte) []byte {
+		i := len(b) / 2
+		b[i] ^= 0x01
+		return b
+	})
+	// A tampered trailer over an intact body.
+	corrupt("tampered trailer", func(b []byte) []byte {
+		b[trailerAt+10] ^= 0x01
+		return b
+	})
+	// A torn write: half the entry, no trailer, broken JSON.
+	corrupt("torn entry", func(b []byte) []byte { return b[:len(b)/3] })
+
+	// Legacy layout: the same JSON with the trailer stripped must load
+	// (that is exactly what pre-trailer builds wrote).
+	if err := os.WriteFile(path, pristine[:trailerAt+1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := c.Load("k"); !ok || err != nil {
+		t.Errorf("legacy untrailed entry: ok %v err %v, want hit", ok, err)
+	}
+
+	// And the pristine trailed entry round-trips.
+	if err := os.WriteFile(path, pristine, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := c.Load("k"); !ok || err != nil {
+		t.Errorf("pristine entry: ok %v err %v, want hit", ok, err)
+	}
+}
+
+// testMetricsFixture builds a metrics document with enough populated
+// fields that single-byte corruption lands somewhere meaningful.
+func testMetricsFixture() sim.Metrics {
+	m := sim.Metrics{
+		Scheme: "RRM", Workload: "GemsFDTD",
+		SimSeconds: 0.03, TimeScale: 100,
+		Instructions: 28686552, IPC: 1.40615491,
+		PerCoreIPC:   []float64{0.35, 0.35, 0.35, 0.35},
+		ReadsServed:  214669, WritesServed: 101210,
+		WritesByMode:  sim.ModeWrites{pcm.Mode3SETs: 64180, pcm.Mode7SETs: 37030},
+		LifetimeYears: 7.234561,
+	}
+	m.RRM.RegHits = 64180
+	return m
+}

@@ -30,6 +30,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rrmpcm/internal/sim"
@@ -93,8 +94,10 @@ type Options struct {
 	Parallel int
 	// Timeout bounds each job's wall-clock time; 0 means none.
 	Timeout time.Duration
-	// Cache, if non-nil, persists results to disk keyed by job key.
-	Cache *RunCache
+	// Cache, if non-nil, persists results keyed by job key. RunCache is
+	// the local-disk implementation; cluster workers plug in the shared
+	// artifact store here instead.
+	Cache ResultCache
 	// Progress, if non-nil, is called once per finished job. Calls are
 	// serialized by the engine; the callback may write to shared sinks
 	// without further locking.
@@ -112,6 +115,7 @@ type Options struct {
 type Engine struct {
 	opt        Options
 	progressMu sync.Mutex
+	sims       atomic.Uint64
 }
 
 // New returns an engine with the given options.
@@ -127,6 +131,13 @@ func New(opt Options) *Engine {
 
 // Parallel reports the engine's worker count.
 func (e *Engine) Parallel() int { return e.opt.Parallel }
+
+// SimsExecuted reports how many simulations this engine actually
+// launched — cache hits and jobs cancelled before dispatch excluded.
+// The cluster's zero-duplicate-work guarantee is asserted against this
+// counter: over a fleet of workers the per-key sum must never exceed
+// one for any completed sweep.
+func (e *Engine) SimsExecuted() uint64 { return e.sims.Load() }
 
 // Run executes jobs over the worker pool and returns one Result per job,
 // in submission order. Jobs sharing a key execute once and share the
@@ -230,6 +241,7 @@ func (e *Engine) runJob(ctx context.Context, j Job) (res Result) {
 		runCtx, cancel = context.WithTimeout(ctx, e.opt.Timeout)
 		defer cancel()
 	}
+	e.sims.Add(1)
 	m, err := e.opt.Sim(runCtx, j.Config)
 	if err != nil {
 		res.Err = fmt.Errorf("engine: %s: %w", j.label(), err)

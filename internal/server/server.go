@@ -38,6 +38,7 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rrmpcm/internal/buildinfo"
@@ -69,6 +70,14 @@ type Options struct {
 	// the same warmup-relevant prefix (engine.WarmRunSim). With CacheDir
 	// set, snapshots also persist to disk under CacheDir/snapshots.
 	WarmStart bool
+	// Cache, if non-nil, overrides CacheDir as the finished-run store.
+	// Cluster workers inject the shared artifact store here so any
+	// worker serves any result computed anywhere.
+	Cache engine.ResultCache
+	// Snapshots, if non-nil, overrides the warm-start snapshot store the
+	// same way (shared warm prefixes across workers). Only consulted
+	// when WarmStart is set.
+	Snapshots engine.SnapshotStore
 	// Sim overrides the simulation function (tests only).
 	Sim engine.SimFunc
 }
@@ -78,10 +87,16 @@ type Options struct {
 type Server struct {
 	opt   Options
 	eng   *engine.Engine
-	cache *engine.RunCache
+	cache engine.ResultCache
 	met   *serverMetrics
 	mux   http.Handler
 	start time.Time
+
+	// notReady is the readiness latch (see SetReady): while set,
+	// /healthz answers 503 so load balancers and the cluster coordinator
+	// stop routing here, without affecting liveness (/livez) or the jobs
+	// already in flight.
+	notReady atomic.Bool
 
 	lifeCtx    context.Context // cancelled to abort in-flight sims
 	lifeCancel context.CancelFunc
@@ -119,7 +134,11 @@ func New(opt Options) (*Server, error) {
 		Observer: s.met,
 		Sim:      opt.Sim,
 	}
-	if opt.CacheDir != "" {
+	switch {
+	case opt.Cache != nil:
+		s.cache = opt.Cache
+		eopt.Cache = opt.Cache
+	case opt.CacheDir != "":
 		c, err := engine.OpenRunCache(opt.CacheDir)
 		if err != nil {
 			return nil, fmt.Errorf("server: %w", err)
@@ -128,13 +147,16 @@ func New(opt Options) (*Server, error) {
 		eopt.Cache = c
 	}
 	if opt.WarmStart && eopt.Sim == nil {
-		var store engine.SnapshotStore = engine.NewMemSnapshotStore()
-		if opt.CacheDir != "" {
-			c, err := engine.OpenSnapshotCache(filepath.Join(opt.CacheDir, "snapshots"))
-			if err != nil {
-				return nil, fmt.Errorf("server: %w", err)
+		store := opt.Snapshots
+		if store == nil {
+			store = engine.NewMemSnapshotStore()
+			if opt.CacheDir != "" {
+				c, err := engine.OpenSnapshotCache(filepath.Join(opt.CacheDir, "snapshots"))
+				if err != nil {
+					return nil, fmt.Errorf("server: %w", err)
+				}
+				store = c
 			}
-			store = c
 		}
 		eopt.Sim = engine.WarmRunSim(store)
 	}
@@ -209,8 +231,35 @@ func (s *Server) routes() http.Handler {
 	mux.Handle("GET /api/v1/schemes", timed(s.handleSchemes))
 	mux.Handle("GET /metrics", timed(s.handleMetrics))
 	mux.Handle("GET /healthz", timed(s.handleHealthz))
+	mux.Handle("GET /livez", timed(s.handleLivez))
 	return mux
 }
+
+// SetReady flips the readiness latch. A worker that has deregistered
+// from its coordinator (or is otherwise draining) calls SetReady(false)
+// so /healthz starts answering 503 while /livez keeps reporting the
+// process alive; in-flight and queued jobs are unaffected.
+func (s *Server) SetReady(ready bool) { s.notReady.Store(!ready) }
+
+// Ready reports the readiness latch (true) unless the server is also
+// draining, which is unready by definition.
+func (s *Server) Ready() bool {
+	s.mu.Lock()
+	draining := s.closed
+	s.mu.Unlock()
+	return !draining && !s.notReady.Load()
+}
+
+// QueueDepth reports how many jobs are waiting in the bounded queue.
+func (s *Server) QueueDepth() int { return len(s.queue) }
+
+// QueueCapacity reports the bounded queue's capacity.
+func (s *Server) QueueCapacity() int { return s.opt.QueueSize }
+
+// SimsExecuted reports how many simulations this server's engine
+// actually launched (cache hits excluded) — the counter the cluster's
+// zero-duplicate-work assertions sum across workers.
+func (s *Server) SimsExecuted() uint64 { return s.eng.SimsExecuted() }
 
 // SubmitRequest is the POST /api/v1/jobs body. Either Config carries a
 // full sim.Config document, or Scheme+Workload name a run built with
@@ -257,8 +306,22 @@ type JobResult struct {
 	Metrics     sim.Metrics `json:"metrics"`
 }
 
+// BuildJob resolves a submission into the engine job it denotes —
+// validated config, config-hash key, display name. The cluster
+// coordinator calls this to learn a submission's identity (and thereby
+// its owning worker) without running anything; the worker it routes to
+// resolves the same bytes to the same job, so the two tiers can never
+// disagree about what a submission means.
+func BuildJob(req SubmitRequest) (engine.Job, error) {
+	cfg, err := buildConfig(req)
+	if err != nil {
+		return engine.Job{}, err
+	}
+	return experiments.NewJob(cfg, req.Label)
+}
+
 // buildConfig resolves a submission into a validated run config.
-func (s *Server) buildConfig(req SubmitRequest) (sim.Config, error) {
+func buildConfig(req SubmitRequest) (sim.Config, error) {
 	if req.Config != nil {
 		if req.Scheme != "" || req.Workload != "" {
 			return sim.Config{}, fmt.Errorf("config and scheme/workload shorthand are mutually exclusive")
@@ -293,12 +356,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
 		return
 	}
-	cfg, err := s.buildConfig(req)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	ejob, err := experiments.NewJob(cfg, req.Label)
+	ejob, err := BuildJob(req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -463,17 +521,23 @@ func (s *Server) handleSchemes(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.met.render(w, len(s.queue), s.opt.QueueSize, time.Since(s.start).Seconds())
+	s.met.render(w, len(s.queue), s.opt.QueueSize, time.Since(s.start).Seconds(), s.eng.SimsExecuted())
 }
 
+// handleHealthz is the readiness probe: 503 while draining or after
+// SetReady(false) — a deregistered cluster worker — so load balancers
+// and the coordinator stop routing new work here. Liveness is /livez.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.closed
 	live := len(s.jobs)
 	s.mu.Unlock()
 	status, code := "ok", http.StatusOK
-	if draining {
+	switch {
+	case draining:
 		status, code = "draining", http.StatusServiceUnavailable
+	case s.notReady.Load():
+		status, code = "not-ready", http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, map[string]any{
 		"status":         status,
@@ -487,6 +551,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"jobs_running":   s.met.running.Load(),
 		"jobs_done":      s.met.done.Load(),
 		"jobs_failed":    s.met.failed.Load(),
+		"sims_executed":  s.eng.SimsExecuted(),
+	})
+}
+
+// handleLivez is the liveness probe: 200 for as long as the process can
+// answer HTTP at all, even while draining or unready. Restart-deciders
+// watch this; routing-deciders watch /healthz.
+func (s *Server) handleLivez(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "alive",
+		"version":        buildinfo.Version(),
+		"uptime_seconds": time.Since(s.start).Seconds(),
 	})
 }
 

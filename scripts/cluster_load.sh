@@ -1,0 +1,19 @@
+#!/bin/sh
+# cluster_load.sh — acceptance-scale load run of the sweep fabric.
+#
+# Drives the in-tree load harness (internal/cluster/load_test.go) at
+# full scale: >= 100k idempotent submissions through a 4-worker local
+# cluster with one worker killed mid-run, gated on p99 submit latency,
+# zero duplicate simulations and byte-identical results versus a
+# single-process run. Scale and gate are overridable:
+#
+#   RRM_CLUSTER_LOAD_N       submissions (default 100000)
+#   RRM_CLUSTER_LOAD_P99_MS  p99 submit-latency gate in ms (default 500)
+set -eu
+cd "$(dirname "$0")/.."
+
+N="${RRM_CLUSTER_LOAD_N:-100000}"
+P99="${RRM_CLUSTER_LOAD_P99_MS:-500}"
+echo "== cluster load: $N submissions, p99 gate ${P99}ms"
+RRM_CLUSTER_LOAD_N="$N" RRM_CLUSTER_LOAD_P99_MS="$P99" \
+    "${GO:-go}" test ./internal/cluster -run TestClusterLoadHarness -v -timeout 30m

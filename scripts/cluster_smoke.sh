@@ -1,0 +1,148 @@
+#!/bin/sh
+# cluster_smoke.sh — end-to-end smoke test of the distributed sweep
+# fabric with real processes.
+#
+# Boots a coordinator and two workers (shared content-addressed
+# artifact store), pushes a batch of quick jobs through the
+# coordinator, SIGKILLs one worker mid-flight, and asserts that
+#   - every job still completes (reroute + shared store),
+#   - the dead worker leaves the ring (heartbeat TTL),
+#   - resubmitting the whole batch runs zero new simulations
+#     (fleet-wide idempotency: the no-duplicates check).
+# Needs curl; no other tooling, so it runs in a bare CI container.
+set -eu
+
+COORD_ADDR="${RRM_COORD_ADDR:-127.0.0.1:18320}"
+WA_ADDR="${RRM_WORKER_A_ADDR:-127.0.0.1:18331}"
+WB_ADDR="${RRM_WORKER_B_ADDR:-127.0.0.1:18332}"
+BASE="http://$COORD_ADDR"
+JOBS=6
+TMP="$(mktemp -d)"
+COORD_PID="" WA_PID="" WB_PID=""
+
+cleanup() {
+    for pid in "$COORD_PID" "$WA_PID" "$WB_PID"; do
+        [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    done
+    for pid in "$COORD_PID" "$WA_PID" "$WB_PID"; do
+        [ -n "$pid" ] && wait "$pid" 2>/dev/null || true
+    done
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "$1" >&2
+    for log in coord wa wb; do
+        [ -f "$TMP/$log.log" ] && {
+            echo "---- $log.log" >&2
+            tail -n 20 "$TMP/$log.log" >&2
+        }
+    done
+    exit 1
+}
+
+wait_http() {
+    i=0
+    until curl -fsS "$1" >/dev/null 2>&1; do
+        i=$((i + 1))
+        [ "$i" -ge 50 ] || { sleep 0.2; continue; }
+        fail "$2"
+    done
+}
+
+echo "== building rrmserve"
+${GO:-go} build -o "$TMP/rrmserve" ./cmd/rrmserve
+
+echo "== starting coordinator on $COORD_ADDR"
+"$TMP/rrmserve" -coordinator -addr "$COORD_ADDR" -artifact-dir "$TMP/artifacts" \
+    -heartbeat-ttl 2s -reconcile 200ms >"$TMP/coord.log" 2>&1 &
+COORD_PID=$!
+wait_http "$BASE/healthz" "coordinator never became healthy"
+
+echo "== starting workers on $WA_ADDR and $WB_ADDR"
+"$TMP/rrmserve" -addr "$WA_ADDR" -join "$BASE" -worker-id wa \
+    -advertise "http://$WA_ADDR" -artifact-dir "$TMP/artifacts" \
+    -heartbeat 200ms >"$TMP/wa.log" 2>&1 &
+WA_PID=$!
+"$TMP/rrmserve" -addr "$WB_ADDR" -join "$BASE" -worker-id wb \
+    -advertise "http://$WB_ADDR" -artifact-dir "$TMP/artifacts" \
+    -heartbeat 200ms >"$TMP/wb.log" 2>&1 &
+WB_PID=$!
+
+i=0
+until curl -fsS "$BASE/healthz" 2>/dev/null | grep -q '"workers_routable": 2'; do
+    i=$((i + 1))
+    [ "$i" -ge 50 ] || { sleep 0.2; continue; }
+    fail "workers never registered with the coordinator"
+done
+
+echo "== submitting $JOBS quick jobs through the coordinator"
+: >"$TMP/ids"
+seed=1
+while [ "$seed" -le "$JOBS" ]; do
+    CODE=$(curl -sS -o "$TMP/submit.json" -w '%{http_code}' \
+        -H 'Content-Type: application/json' \
+        -d "{\"scheme\":\"static-7\",\"workload\":\"GemsFDTD\",\"quick\":true,\"seed\":$seed}" \
+        "$BASE/api/v1/jobs")
+    case "$CODE" in
+        200 | 202) ;;
+        *) fail "submit $seed returned HTTP $CODE: $(cat "$TMP/submit.json")" ;;
+    esac
+    sed -n 's/.*"id": *"\([0-9a-f]*\)".*/\1/p' "$TMP/submit.json" | head -n 1 >>"$TMP/ids"
+    seed=$((seed + 1))
+done
+[ "$(wc -l <"$TMP/ids")" -eq "$JOBS" ] || fail "missing job ids"
+
+echo "== killing worker wa mid-flight"
+sleep 1
+kill -9 "$WA_PID" 2>/dev/null || true
+wait "$WA_PID" 2>/dev/null || true
+WA_PID=""
+
+echo "== waiting for all $JOBS jobs to complete despite the loss"
+while IFS= read -r id; do
+    i=0
+    while :; do
+        CODE=$(curl -sS -o "$TMP/result.json" -w '%{http_code}' \
+            "$BASE/api/v1/jobs/$id/result" || echo 000)
+        [ "$CODE" = 200 ] && break
+        i=$((i + 1))
+        [ "$i" -ge 600 ] && fail "job $id did not finish within 120s (last HTTP $CODE)"
+        sleep 0.2
+    done
+    grep -q '"metrics"' "$TMP/result.json" || fail "job $id result has no metrics"
+done <"$TMP/ids"
+
+echo "== checking the dead worker left the ring"
+i=0
+until curl -fsS "$BASE/healthz" 2>/dev/null | grep -q '"workers_routable": 1'; do
+    i=$((i + 1))
+    [ "$i" -ge 50 ] && fail "dead worker never expired from the ring"
+    sleep 0.2
+done
+
+echo "== resubmitting the batch: must run zero new simulations"
+SIMS_BEFORE=$(curl -fsS "http://$WB_ADDR/metrics" | sed -n 's/^rrmserve_sims_executed_total \([0-9]*\)$/\1/p')
+seed=1
+while [ "$seed" -le "$JOBS" ]; do
+    CODE=$(curl -sS -o "$TMP/resubmit.json" -w '%{http_code}' \
+        -H 'Content-Type: application/json' \
+        -d "{\"scheme\":\"static-7\",\"workload\":\"GemsFDTD\",\"quick\":true,\"seed\":$seed}" \
+        "$BASE/api/v1/jobs")
+    [ "$CODE" = 200 ] || fail "resubmit $seed returned HTTP $CODE, want 200 idempotency hit"
+    grep -q '"created": *false' "$TMP/resubmit.json" || \
+        fail "resubmit $seed created a new job: $(cat "$TMP/resubmit.json")"
+    seed=$((seed + 1))
+done
+sleep 1
+SIMS_AFTER=$(curl -fsS "http://$WB_ADDR/metrics" | sed -n 's/^rrmserve_sims_executed_total \([0-9]*\)$/\1/p')
+[ "$SIMS_BEFORE" = "$SIMS_AFTER" ] || \
+    fail "resubmission launched new simulations ($SIMS_BEFORE -> $SIMS_AFTER): duplicates"
+
+echo "== checking cluster metrics"
+curl -fsS "$BASE/metrics" >"$TMP/metrics.txt"
+grep -q '^rrmserve_cluster_workers 1$' "$TMP/metrics.txt" || fail "cluster worker gauge wrong"
+grep -q '^rrmserve_cluster_workers_lost_total 1$' "$TMP/metrics.txt" || fail "worker loss not counted"
+
+echo "== cluster smoke test passed ($JOBS jobs, 1 worker killed, 0 duplicate sims)"
