@@ -5,15 +5,16 @@
 #   test   full unit suite
 #   race   race-detector pass over the packages the parallel engine
 #          drives (engine, experiments, the HTTP service, and the
-#          sim/trace paths its workers execute concurrently)
+#          sim/trace/tracefile paths its workers execute concurrently)
 #   bench  paper-artifact benchmarks (quick windows)
 #   bench-json
-#          hot-path component benchmarks -> BENCH_5.json (ns/op, B/op,
+#          hot-path component benchmarks -> BENCH_7.json (ns/op, B/op,
 #          allocs/op per benchmark, diffed against the recorded
-#          pre-optimization baseline; includes the cold/warm sweep pair)
+#          pre-optimization baseline; includes the cold/warm sweep pair
+#          and the trace generator/replay trio)
 #   bench-check
 #          CI perf gate: re-run the tracked benchmarks and fail on a
-#          >10% ns/op or any allocs/op regression vs BENCH_5.json
+#          >10% ns/op or any allocs/op regression vs BENCH_7.json
 #   profile
 #          CPU+heap profile of a representative experiment pass
 #          (cpu.prof / mem.prof; inspect with `go tool pprof`)
@@ -23,6 +24,9 @@
 # through the full HTTP path (submit -> stream -> result -> metrics)
 # and fails unless the result comes back 200.
 #
+# replay-smoke exports a synthetic workload as trace files and fails
+# unless replaying them yields byte-identical metrics to the generator.
+#
 # cluster-smoke boots a coordinator and two workers as real processes,
 # SIGKILLs one worker mid-flight and fails unless every job completes
 # with zero duplicate simulations. cluster-load runs the acceptance
@@ -30,7 +34,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench bench-json bench-check profile ci serve-smoke cluster-smoke cluster-load
+.PHONY: build vet test race bench bench-json bench-check profile ci serve-smoke replay-smoke cluster-smoke cluster-load
 
 build:
 	$(GO) build ./...
@@ -42,13 +46,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/cluster/... ./internal/engine/... ./internal/experiments/... ./internal/reliability/... ./internal/server/... ./internal/sim/... ./internal/trace/...
+	$(GO) test -race ./internal/cluster/... ./internal/engine/... ./internal/experiments/... ./internal/reliability/... ./internal/server/... ./internal/sim/... ./internal/trace/... ./internal/tracefile/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
 bench-json:
-	GO="$(GO)" ./scripts/bench_json.sh BENCH_5.json
+	GO="$(GO)" ./scripts/bench_json.sh BENCH_7.json
 
 bench-check:
 	GO="$(GO)" ./scripts/bench_check.sh
@@ -60,6 +64,9 @@ profile:
 
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+replay-smoke:
+	GO="$(GO)" ./scripts/replay_smoke.sh
 
 cluster-smoke:
 	GO="$(GO)" ./scripts/cluster_smoke.sh

@@ -24,6 +24,7 @@ import (
 	"rrmpcm/internal/pcm"
 	"rrmpcm/internal/timing"
 	"rrmpcm/internal/trace"
+	"rrmpcm/internal/tracefile"
 )
 
 var (
@@ -309,5 +310,75 @@ func BenchmarkReliabilitySimulation(b *testing.B) {
 			b.Fatal("reliability metrics missing")
 		}
 		b.ReportMetric(float64(m.Instructions)/b.Elapsed().Seconds(), "sim-insts/s")
+	}
+}
+
+// benchDynamicStream builds stream 0 of a named non-stationary
+// workload with the simulator's partition and seeding rules.
+func benchDynamicStream(b *testing.B, workload string) Stream {
+	b.Helper()
+	w, err := WorkloadByName(workload)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base, span := CorePartition(DefaultDeviceConfig().MemBytes, len(w.Cores), 0)
+	gen, err := NewStream(w, 0, base, span, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return gen
+}
+
+// BenchmarkTraceGeneratorPhases measures the non-stationary generator
+// with phase switching active (compare against BenchmarkTraceGenerator
+// for the stationary baseline).
+func BenchmarkTraceGeneratorPhases(b *testing.B) {
+	gen := benchDynamicStream(b, "PHASE_1")
+	var op trace.Op
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen.Next(&op)
+	}
+}
+
+// BenchmarkTraceGeneratorBurst measures the MMPP on/off modulation path.
+func BenchmarkTraceGeneratorBurst(b *testing.B) {
+	gen := benchDynamicStream(b, "BURST_1")
+	var op trace.Op
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen.Next(&op)
+	}
+}
+
+// BenchmarkTraceReplay measures trace-file decode throughput — the
+// replay-side counterpart of BenchmarkTraceGenerator (the recording
+// wraps as needed, so b.N is unbounded).
+func BenchmarkTraceReplay(b *testing.B) {
+	p, err := trace.ProfileByName("GemsFDTD")
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := trace.NewMixture(p, 0, 2<<30, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	meta := tracefile.Meta{Name: p.Name, BaseCPI: gen.BaseCPI(), MaxMLP: gen.MaxMLP(), Span: 2 << 30, Seed: 1}
+	blob, err := tracefile.Record(gen, meta, 1<<18)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := tracefile.Parse(blob)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := f.Stream()
+	var op trace.Op
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Next(&op)
 	}
 }

@@ -6,8 +6,8 @@
 // Usage:
 //
 //	rrmserve [-addr :8321] [-queue 64] [-workers N] [-cache-dir dir]
-//	         [-warm-start] [-pprof] [-job-timeout d] [-request-timeout 30s]
-//	         [-drain-timeout 30s] [-version]
+//	         [-trace-dir dir] [-warm-start] [-pprof] [-job-timeout d]
+//	         [-request-timeout 30s] [-drain-timeout 30s] [-version]
 //	rrmserve -join http://coord:8320 [-advertise URL] [-worker-id id]
 //	         [-artifact-dir dir] [-heartbeat 1s] [...worker flags]
 //	rrmserve -coordinator [-addr :8320] [-artifact-dir dir]
@@ -15,8 +15,11 @@
 //
 // Endpoints (standalone and worker):
 //
-//	POST /api/v1/jobs              submit {"scheme":"rrm","workload":"GemsFDTD","quick":true}
-//	                               or a full {"config":{...}} document
+//	POST /api/v1/jobs              submit {"scheme":"rrm","workload":"GemsFDTD","quick":true},
+//	                               a full {"config":{...}} document, or a multi-tenant
+//	                               {"scheme":"rrm","tenants":[{"name":"A","trace":"a.rrmt"},...]}
+//	                               run (trace paths resolve under -trace-dir; "profile"
+//	                               entries name synthetic profiles and need no -trace-dir)
 //	GET  /api/v1/jobs              list known jobs
 //	GET  /api/v1/jobs/{id}         job status
 //	GET  /api/v1/jobs/{id}/result  metrics (also served from the run cache)
@@ -73,6 +76,7 @@ func main() {
 	queue := flag.Int("queue", 64, "job queue capacity (submissions beyond it get 429)")
 	workers := flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	cacheDir := flag.String("cache-dir", "", "disk-backed run cache directory (empty = no cache)")
+	traceDir := flag.String("trace-dir", "", "trace-file root for tenant replay submissions (empty = trace tenants disabled)")
 	warmStart := flag.Bool("warm-start", false, "share simulation warmup across jobs with equal warm prefixes")
 	pprofOn := flag.Bool("pprof", false, "expose Go profiling endpoints under /debug/pprof/")
 	jobTimeout := flag.Duration("job-timeout", 0, "per-simulation wall-clock budget (0 = none)")
@@ -115,7 +119,7 @@ func main() {
 	}
 
 	runWorker(workerConfig{
-		addr: *addr, queue: *queue, workers: *workers, cacheDir: *cacheDir,
+		addr: *addr, queue: *queue, workers: *workers, cacheDir: *cacheDir, traceDir: *traceDir,
 		warmStart: *warmStart, pprofOn: *pprofOn, store: store,
 		jobTimeout: *jobTimeout, reqTimeout: *reqTimeout, drainTimeout: *drainTimeout,
 		join: *join, advertise: *advertise, workerID: *workerID, heartbeat: *heartbeat,
@@ -127,6 +131,7 @@ type workerConfig struct {
 	queue        int
 	workers      int
 	cacheDir     string
+	traceDir     string
 	warmStart    bool
 	pprofOn      bool
 	store        artifact.Store
@@ -144,6 +149,7 @@ func runWorker(cfg workerConfig) {
 		QueueSize:      cfg.queue,
 		Workers:        cfg.workers,
 		CacheDir:       cfg.cacheDir,
+		TraceDir:       cfg.traceDir,
 		JobTimeout:     cfg.jobTimeout,
 		RequestTimeout: cfg.reqTimeout,
 		WarmStart:      cfg.warmStart,

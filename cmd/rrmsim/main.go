@@ -7,6 +7,7 @@
 //	       [-duration 40ms] [-warmup 10ms] [-timescale 100]
 //	       [-hot-threshold 16] [-coverage 4] [-region-kb 4] [-seed 1]
 //	       [-parallel N] [-cache-dir dir] [-warm-start] [-json]
+//	       [-replay f0.rrmt,f1.rrmt,...] [-tenants A,B,...]
 //	       [-reliability] [-ecc-t 4] [-prog-ber 1e-5] [-ecc-latency 25ns]
 //	       [-patrol] [-patrol-interval 100ms] [-patrol-batch 64]
 //	       [-cpuprofile file] [-memprofile file]
@@ -21,6 +22,13 @@
 // workloads were named regardless of completion order. With -cache-dir,
 // finished runs persist to disk keyed by config hash and later
 // invocations reload them instead of re-simulating.
+//
+// -replay swaps the named workload's synthetic streams for recorded
+// trace files (tracegen -export), one per core; the run's metrics are
+// byte-identical to the generator run the traces were exported from.
+// -tenants names one tenant per stream and adds per-tenant attribution
+// (instructions, writes by mode, retention violations, reliability
+// counters) to the report and the JSON output.
 //
 // -warm-start shares simulation warmup across the batch's runs where
 // their configs differ only in post-warmup knobs; results are
@@ -54,6 +62,7 @@ import (
 	"rrmpcm/internal/experiments"
 	"rrmpcm/internal/profiling"
 	"rrmpcm/internal/stats"
+	"rrmpcm/internal/tracefile"
 )
 
 func main() {
@@ -78,6 +87,8 @@ func main() {
 	patrol := flag.Bool("patrol", false, "enable background patrol scrubbing (with -reliability)")
 	patrolInterval := flag.Duration("patrol-interval", 100*time.Millisecond, "real-time interval between patrol batches (with -patrol)")
 	patrolBatch := flag.Int("patrol-batch", rrmpcm.DefaultReliabilityConfig().PatrolBatch, "lines scrubbed per patrol batch (with -patrol)")
+	replay := flag.String("replay", "", "comma-separated trace files (tracegen -export), one per core; -workload names the run")
+	tenants := flag.String("tenants", "", "comma-separated tenant names, one per stream (enables per-tenant attribution)")
 	jsonOut := flag.Bool("json", false, "print metrics as JSON instead of the text report")
 	listW := flag.Bool("list-workloads", false, "list workloads and exit")
 	version := flag.Bool("version", false, "print build information and exit")
@@ -113,6 +124,35 @@ func main() {
 				fatal(err)
 			}
 			workloads = append(workloads, w)
+		}
+	}
+	if *replay != "" {
+		if len(workloads) != 1 {
+			fatal(fmt.Errorf("-replay needs exactly one -workload name for the run's identity"))
+		}
+		// The replay run keeps the named workload's identity (the
+		// reliability seed mixes the name), but its streams come from
+		// the trace files — content-addressed so the run's config hash
+		// covers the trace bytes.
+		w := workloads[0]
+		w.Cores, w.Dynamics = nil, nil
+		for _, p := range strings.Split(*replay, ",") {
+			p = strings.TrimSpace(p)
+			f, err := tracefile.Load(p)
+			if err != nil {
+				fatal(err)
+			}
+			w.Replay = append(w.Replay, rrmpcm.TraceRef{Path: p, Sum: f.Sum()})
+		}
+		workloads[0] = w
+	}
+	if *tenants != "" {
+		names := strings.Split(*tenants, ",")
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
+		}
+		for i := range workloads {
+			workloads[i].Tenants = names
 		}
 	}
 
@@ -270,6 +310,19 @@ func report(m rrmpcm.Metrics, wall time.Duration) bool {
 	fmt.Printf("  refresh              %8.3f J\n", m.EnergyRefreshJ)
 	fmt.Printf("  total                %8.3f J\n\n", m.EnergyTotalJ)
 
+	if len(m.Tenants) > 0 {
+		fmt.Printf("Tenants\n")
+		for _, t := range m.Tenants {
+			fmt.Printf("  %-12s cores %d  IPC %6.3f  insts %10d  writes %8d (short %.1f%%)  violations %d\n",
+				t.Name, t.Cores, t.IPC, t.Instructions, t.DemandWrites,
+				100*t.ShortWriteFraction, t.RetentionViolations)
+			if t.ReadsChecked > 0 {
+				fmt.Printf("  %-12s reads checked %d  corrected %d  uncorrectable %d\n",
+					"", t.ReadsChecked, t.CorrectedReads, t.UncorrectableReads)
+			}
+		}
+		fmt.Printf("\n")
+	}
 	if m.Scheme == "RRM" {
 		fmt.Printf("RRM internals\n")
 		fmt.Printf("  registrations        %8d (%d filtered as streaming)\n", m.RRM.Registrations, m.RRM.CleanFiltered)

@@ -90,11 +90,13 @@ func (s Stats) IPC() float64 {
 // Core is one simulated processor core.
 type Core struct {
 	cfg Config
-	gen *trace.Mixture
+	gen trace.Stream
 	be  Backend
 	eq  *timing.EventQueue
 
 	cpiPerInst timing.Time // BaseCPI in picoseconds, rounded
+	baseCPI    float64     // cached: Stream guarantees it is constant
+	opBuf      trace.Op    // reusable Next buffer (see step)
 	cpiFrac    float64     // fractional picosecond accumulator
 	maxMLP     int
 
@@ -148,7 +150,7 @@ func (c *Core) releaseToken(tok *missToken) {
 }
 
 // New builds a core running gen against be, self-scheduling on eq.
-func New(cfg Config, gen *trace.Mixture, be Backend, eq *timing.EventQueue) (*Core, error) {
+func New(cfg Config, gen trace.Stream, be Backend, eq *timing.EventQueue) (*Core, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -165,6 +167,7 @@ func New(cfg Config, gen *trace.Mixture, be Backend, eq *timing.EventQueue) (*Co
 		be:         be,
 		eq:         eq,
 		maxMLP:     mlp,
+		baseCPI:    gen.BaseCPI(),
 		cpiPerInst: timing.Time(gen.BaseCPI() * float64(timing.CPUCycle)),
 		stopAt:     timing.Forever,
 	}
@@ -258,7 +261,9 @@ func (c *Core) step(now timing.Time) {
 		c.localTime = now
 	}
 	horizon := now + c.cfg.Quantum
-	var op trace.Op
+	// The op buffer lives on the Core: a step-local would escape through
+	// the trace.Stream interface call and cost one heap Op per step.
+	op := &c.opBuf
 	for n := 0; n < c.cfg.MaxOpsStep; n++ {
 		if c.localTime >= c.stopAt {
 			return // horizon reached; do not rearm
@@ -272,7 +277,7 @@ func (c *Core) step(now timing.Time) {
 			return
 		}
 
-		c.gen.Next(&op)
+		c.gen.Next(op)
 		c.advance(op.NonMem)
 		c.stats.Instructions += uint64(op.NonMem) + 1
 		c.stats.MemOps++
@@ -314,7 +319,7 @@ func (c *Core) advance(nonMem int) {
 	c.localTime += timing.Time(insts) * c.cpiPerInst
 	// Track the fractional picoseconds lost to integer rounding so the
 	// long-run rate matches BaseCPI exactly.
-	exact := float64(insts) * c.gen.BaseCPI() * float64(timing.CPUCycle)
+	exact := float64(insts) * c.baseCPI * float64(timing.CPUCycle)
 	c.cpiFrac += exact - float64(timing.Time(insts)*c.cpiPerInst)
 	if c.cpiFrac >= 1 {
 		whole := timing.Time(c.cpiFrac)

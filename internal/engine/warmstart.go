@@ -29,7 +29,7 @@ import (
 // warmHashVersion guards the warm-key space: bump it whenever the
 // snapshot encoding or the simulation's warmup behavior changes, so
 // stale disk snapshots from older builds stop matching.
-const warmHashVersion = "rrmpcm-warm-v1"
+const warmHashVersion = "rrmpcm-warm-v2" // v2: sim snapshot format 2 (tenant section, stream kinds)
 
 // warmImage is the warmup-relevant prefix of a config: hashImage minus
 // the knobs that only matter after the warmup boundary (Duration,

@@ -37,6 +37,7 @@ func All() []Experiment {
 		{"table8", "Table VIII: RRM storage per coverage", func(r *Runner) (string, error) { return Table8() }},
 		{"fig13", "Figure 13: entry coverage size sensitivity", Figure13},
 		{"reliability", "R1: drift-induced errors under t-bit ECC, RRM vs statics", ExperimentReliability},
+		{"phases", "W1: RRM vs statics under non-stationary workloads", ExperimentPhases},
 		{"ablation-globalrefresh", "A1: global-refresh performance impact (analytic)", AblationGlobalRefresh},
 		{"ablation-cleanwrites", "A2: registering clean LLC writes (streaming pollution)", AblationCleanWrites},
 		{"ablation-nopause", "A3: disabling write pausing", AblationNoPause},

@@ -80,6 +80,11 @@ type Options struct {
 	Snapshots engine.SnapshotStore
 	// Sim overrides the simulation function (tests only).
 	Sim engine.SimFunc
+	// TraceDir, if non-empty, enables tenant trace replay: tenant
+	// submissions may reference recorded trace files by paths relative
+	// to (and confined under) this directory. Empty disables trace
+	// tenants; profile tenants work regardless.
+	TraceDir string
 }
 
 // Server is the simulation service. Create with New, serve via
@@ -273,6 +278,11 @@ type SubmitRequest struct {
 	// Label is cosmetic: it prefixes the job's display name.
 	Label  string      `json:"label,omitempty"`
 	Config *sim.Config `json:"config,omitempty"`
+	// Tenants, with Scheme, submits a multi-tenant run: one stream per
+	// entry (trace replay or synthetic profile), with per-tenant
+	// attribution in the result's metrics. Mutually exclusive with
+	// Workload and Config.
+	Tenants []TenantStream `json:"tenants,omitempty"`
 }
 
 // JobStatus is the wire representation of one job.
@@ -313,7 +323,15 @@ type JobResult struct {
 // resolves the same bytes to the same job, so the two tiers can never
 // disagree about what a submission means.
 func BuildJob(req SubmitRequest) (engine.Job, error) {
-	cfg, err := buildConfig(req)
+	return BuildJobIn("", req)
+}
+
+// BuildJobIn is BuildJob with a trace directory: tenant submissions
+// that reference trace files resolve them relative to traceDir (empty
+// rejects trace tenants, which is how a coordinator without local
+// trace files behaves — profile tenants still work).
+func BuildJobIn(traceDir string, req SubmitRequest) (engine.Job, error) {
+	cfg, err := buildConfig(traceDir, req)
 	if err != nil {
 		return engine.Job{}, err
 	}
@@ -321,10 +339,10 @@ func BuildJob(req SubmitRequest) (engine.Job, error) {
 }
 
 // buildConfig resolves a submission into a validated run config.
-func buildConfig(req SubmitRequest) (sim.Config, error) {
+func buildConfig(traceDir string, req SubmitRequest) (sim.Config, error) {
 	if req.Config != nil {
-		if req.Scheme != "" || req.Workload != "" {
-			return sim.Config{}, fmt.Errorf("config and scheme/workload shorthand are mutually exclusive")
+		if req.Scheme != "" || req.Workload != "" || len(req.Tenants) > 0 {
+			return sim.Config{}, fmt.Errorf("config and scheme/workload/tenants shorthand are mutually exclusive")
 		}
 		cfg := *req.Config
 		if err := cfg.Validate(); err != nil {
@@ -332,8 +350,30 @@ func buildConfig(req SubmitRequest) (sim.Config, error) {
 		}
 		return cfg, nil
 	}
+	if len(req.Tenants) > 0 {
+		if req.Workload != "" {
+			return sim.Config{}, fmt.Errorf("tenants and workload are mutually exclusive")
+		}
+		if req.Scheme == "" {
+			return sim.Config{}, fmt.Errorf("tenant submissions need a scheme")
+		}
+		scheme, err := experiments.ParseScheme(req.Scheme)
+		if err != nil {
+			return sim.Config{}, err
+		}
+		w, err := tenantWorkload(traceDir, req.Tenants)
+		if err != nil {
+			return sim.Config{}, err
+		}
+		opt := experiments.Options{Quick: req.Quick, Seed: req.Seed}
+		cfg := opt.SimConfig(scheme, w)
+		if err := cfg.Validate(); err != nil {
+			return sim.Config{}, err
+		}
+		return cfg, nil
+	}
 	if req.Scheme == "" || req.Workload == "" {
-		return sim.Config{}, fmt.Errorf("need either config or scheme+workload")
+		return sim.Config{}, fmt.Errorf("need either config, scheme+workload, or scheme+tenants")
 	}
 	scheme, err := experiments.ParseScheme(req.Scheme)
 	if err != nil {
@@ -356,7 +396,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
 		return
 	}
-	ejob, err := BuildJob(req)
+	ejob, err := BuildJobIn(s.opt.TraceDir, req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return

@@ -1,0 +1,81 @@
+package server
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+
+	"rrmpcm/internal/trace"
+	"rrmpcm/internal/tracefile"
+)
+
+// TenantStream describes one tenant's stream in a multi-tenant
+// submission: either a recorded trace file (a path relative to the
+// server's configured trace directory) or a named synthetic profile.
+// Exactly one of Trace and Profile must be set, and one submission
+// must use the same kind for every stream (the simulated machine
+// replays trace files or generates synthetically — not both).
+type TenantStream struct {
+	// Name is the tenant the stream belongs to. Streams sharing a name
+	// are attributed to one tenant.
+	Name string `json:"name"`
+	// Trace is a trace-file path relative to the server's -trace-dir.
+	Trace string `json:"trace,omitempty"`
+	// Profile names a synthetic benchmark profile (trace.Profiles).
+	Profile string `json:"profile,omitempty"`
+}
+
+// tenantWorkload resolves a tenant submission into a workload: one
+// stream per entry, per-stream tenant names, and — for trace streams —
+// content-addressed replay references (the file is loaded here, so the
+// config hash covers the trace bytes at submission time).
+func tenantWorkload(traceDir string, tenants []TenantStream) (trace.Workload, error) {
+	if len(tenants) == 0 {
+		return trace.Workload{}, fmt.Errorf("empty tenant list")
+	}
+	names := make([]string, len(tenants))
+	nTrace := 0
+	for i, t := range tenants {
+		if t.Name == "" {
+			return trace.Workload{}, fmt.Errorf("tenant stream %d has no name", i)
+		}
+		if (t.Trace == "") == (t.Profile == "") {
+			return trace.Workload{}, fmt.Errorf("tenant stream %d: exactly one of trace and profile must be set", i)
+		}
+		if t.Trace != "" {
+			nTrace++
+		}
+		names[i] = t.Name
+	}
+	if nTrace != 0 && nTrace != len(tenants) {
+		return trace.Workload{}, fmt.Errorf("tenant streams mix trace replay and synthetic profiles")
+	}
+
+	w := trace.Workload{Name: "tenants:" + strings.Join(names, "+"), Tenants: names}
+	if nTrace > 0 {
+		if traceDir == "" {
+			return trace.Workload{}, fmt.Errorf("tenant trace replay is disabled: the server has no trace directory configured")
+		}
+		for i, t := range tenants {
+			rel := filepath.Clean(t.Trace)
+			if filepath.IsAbs(rel) || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+				return trace.Workload{}, fmt.Errorf("tenant stream %d: trace path %q escapes the trace directory", i, t.Trace)
+			}
+			path := filepath.Join(traceDir, rel)
+			f, err := tracefile.Load(path)
+			if err != nil {
+				return trace.Workload{}, fmt.Errorf("tenant stream %d: %w", i, err)
+			}
+			w.Replay = append(w.Replay, trace.TraceRef{Path: path, Sum: f.Sum()})
+		}
+		return w, nil
+	}
+	for i, t := range tenants {
+		p, err := trace.ProfileByName(t.Profile)
+		if err != nil {
+			return trace.Workload{}, fmt.Errorf("tenant stream %d: %w", i, err)
+		}
+		w.Cores = append(w.Cores, p)
+	}
+	return w, nil
+}

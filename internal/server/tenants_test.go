@@ -1,0 +1,201 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rrmpcm/internal/sim"
+	"rrmpcm/internal/trace"
+	"rrmpcm/internal/tracefile"
+)
+
+// tenantSim fakes per-tenant attribution: one TenantMetrics entry per
+// unique tenant name, with recognizable counter values.
+func tenantSim(ctx context.Context, cfg sim.Config) (sim.Metrics, error) {
+	m, _ := instantSim(ctx, cfg)
+	seen := map[string]bool{}
+	for _, name := range cfg.Workload.Tenants {
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		m.Tenants = append(m.Tenants, sim.TenantMetrics{
+			Name: name, Cores: 1, Instructions: 1000, DemandWrites: 50,
+			RetentionViolations: 2, UncorrectableReads: 1,
+		})
+	}
+	return m, nil
+}
+
+func tenantBody(entries string) string {
+	return fmt.Sprintf(`{"scheme":"rrm","quick":true,"tenants":[%s]}`, entries)
+}
+
+// writeTestTraces exports n single-profile trace recordings into dir
+// and returns their file names.
+func writeTestTraces(t *testing.T, dir string, n int) []string {
+	t.Helper()
+	p, err := trace.ProfileByName("hmmer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		gen, err := trace.NewMixture(p, 0, 1<<30, uint64(i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		meta := tracefile.Meta{Name: p.Name, BaseCPI: gen.BaseCPI(), MaxMLP: gen.MaxMLP(),
+			Span: 1 << 30, Seed: uint64(i + 1)}
+		blob, err := tracefile.Record(gen, meta, 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		names[i] = fmt.Sprintf("c%d.rrmt", i)
+		if err := os.WriteFile(filepath.Join(dir, names[i]), blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return names
+}
+
+// TestTenantSubmissionProfiles: a profile-based multi-tenant submission
+// runs end to end and the result carries per-tenant metrics.
+func TestTenantSubmissionProfiles(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, Sim: tenantSim})
+	body := tenantBody(`{"name":"acme","profile":"hmmer"},{"name":"zenith","profile":"lbm"},
+		{"name":"acme","profile":"hmmer"},{"name":"zenith","profile":"milc"}`)
+	code, sr := postJob(t, ts, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d, want 202", code)
+	}
+	if sr.Workload != "tenants:acme+zenith+acme+zenith" {
+		t.Fatalf("workload name %q", sr.Workload)
+	}
+	st := waitState(t, ts, sr.ID)
+	if st.State != "done" {
+		t.Fatalf("final state %q (%s)", st.State, st.Error)
+	}
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/" + sr.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var jr JobResult
+	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+		t.Fatal(err)
+	}
+	if len(jr.Metrics.Tenants) != 2 {
+		t.Fatalf("result has %d tenants, want 2: %+v", len(jr.Metrics.Tenants), jr.Metrics.Tenants)
+	}
+}
+
+// TestTenantSubmissionTraces: trace-backed tenants run when a trace
+// directory is configured, and the server confines paths to it.
+func TestTenantSubmissionTraces(t *testing.T) {
+	dir := t.TempDir()
+	names := writeTestTraces(t, dir, 4)
+	_, ts := newTestServer(t, Options{Workers: 1, Sim: tenantSim, TraceDir: dir})
+
+	var entries []string
+	for i, n := range names {
+		entries = append(entries, fmt.Sprintf(`{"name":"t%d","trace":%q}`, i%2, n))
+	}
+	code, sr := postJob(t, ts, tenantBody(strings.Join(entries, ",")))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d, want 202", code)
+	}
+	if st := waitState(t, ts, sr.ID); st.State != "done" {
+		t.Fatalf("final state %q (%s)", st.State, st.Error)
+	}
+
+	// Paths may not escape the trace directory, by traversal or by
+	// absolute path.
+	for _, bad := range []string{"../evil.rrmt", "/etc/passwd", "a/../../evil.rrmt"} {
+		code, _ := postJob(t, ts, tenantBody(fmt.Sprintf(
+			`{"name":"a","trace":%q},{"name":"b","trace":%q},{"name":"c","trace":%q},{"name":"d","trace":%q}`,
+			bad, names[1], names[2], names[3])))
+		if code != http.StatusBadRequest {
+			t.Errorf("escaping path %q: status %d, want 400", bad, code)
+		}
+	}
+}
+
+// TestTenantSubmissionValidation: malformed tenant submissions are 400s.
+func TestTenantSubmissionValidation(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, Sim: tenantSim}) // no TraceDir
+	cases := map[string]string{
+		"missing scheme":     `{"quick":true,"tenants":[{"name":"a","profile":"hmmer"}]}`,
+		"with workload":      `{"scheme":"rrm","workload":"lbm","quick":true,"tenants":[{"name":"a","profile":"hmmer"}]}`,
+		"unnamed stream":     tenantBody(`{"name":"","profile":"hmmer"}`),
+		"both kinds":         tenantBody(`{"name":"a","profile":"hmmer","trace":"x.rrmt"}`),
+		"neither kind":       tenantBody(`{"name":"a"}`),
+		"mixed kinds":        tenantBody(`{"name":"a","profile":"hmmer"},{"name":"b","trace":"x.rrmt"}`),
+		"unknown profile":    tenantBody(`{"name":"a","profile":"nonesuch"}`),
+		"traces disabled":    tenantBody(`{"name":"a","trace":"x.rrmt"}`),
+		"wrong stream count": tenantBody(`{"name":"a","profile":"hmmer"},{"name":"b","profile":"lbm"}`),
+	}
+	for name, body := range cases {
+		if code, _ := postJob(t, ts, body); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, code)
+		}
+	}
+}
+
+// TestMetricsTenantCounters: finished multi-tenant jobs feed the
+// labeled rrmserve_tenant_* counters; untenanted jobs contribute
+// nothing and the section is absent until the first tenant job.
+func TestMetricsTenantCounters(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, Sim: tenantSim})
+
+	_, sr := postJob(t, ts, submitBody(3))
+	waitState(t, ts, sr.ID)
+	resp, _ := http.Get(ts.URL + "/metrics")
+	blob, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if strings.Contains(string(blob), "rrmserve_tenant_") {
+		t.Error("tenant counters rendered before any multi-tenant job")
+	}
+
+	body := tenantBody(`{"name":"acme","profile":"hmmer"},{"name":"zenith","profile":"lbm"},
+		{"name":"acme","profile":"hmmer"},{"name":"zenith","profile":"milc"}`)
+	for i := 0; i < 2; i++ {
+		_, sr := postJob(t, ts, body)
+		if st := waitState(t, ts, sr.ID); st.State != "done" {
+			t.Fatalf("tenant job %d: state %q (%s)", i, st.State, st.Error)
+		}
+	}
+	// Identical submissions dedupe to one job; resubmit with a new seed
+	// to get a second observation.
+	_, sr = postJob(t, ts, strings.Replace(body, `"quick":true`, `"quick":true,"seed":9`, 1))
+	if st := waitState(t, ts, sr.ID); st.State != "done" {
+		t.Fatalf("seeded tenant job: state %q (%s)", st.State, st.Error)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(blob)
+	for _, want := range []string{
+		`rrmserve_tenant_jobs_total{tenant="acme"} 2`,
+		`rrmserve_tenant_jobs_total{tenant="zenith"} 2`,
+		`rrmserve_tenant_instructions_total{tenant="acme"} 2000`,
+		`rrmserve_tenant_demand_writes_total{tenant="zenith"} 100`,
+		`rrmserve_tenant_retention_violations_total{tenant="acme"} 4`,
+		`rrmserve_tenant_uncorrectable_total{tenant="zenith"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

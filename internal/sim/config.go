@@ -164,12 +164,15 @@ func (c Config) Validate() error {
 	if err := c.Ctrl.Validate(); err != nil {
 		return err
 	}
-	if len(c.Workload.Cores) == 0 {
+	if err := c.Workload.Validate(); err != nil {
+		return err
+	}
+	if c.Workload.NumStreams() == 0 {
 		return fmt.Errorf("sim: workload has no cores")
 	}
-	if len(c.Workload.Cores) != c.Hierarchy.Cores {
-		return fmt.Errorf("sim: workload has %d cores, hierarchy %d",
-			len(c.Workload.Cores), c.Hierarchy.Cores)
+	if n := c.Workload.NumStreams(); n != c.Hierarchy.Cores {
+		return fmt.Errorf("sim: workload has %d streams, hierarchy %d cores",
+			n, c.Hierarchy.Cores)
 	}
 	if c.Duration <= 0 {
 		return fmt.Errorf("sim: non-positive duration")

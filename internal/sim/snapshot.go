@@ -16,9 +16,13 @@ import (
 // (time, seq) descriptors and are re-armed in global (time, seq) order on
 // restore (timing.Rearm), which reproduces the original dispatch sequence
 // exactly — a restored run is bit-identical to the run it forked from.
+// Version history: v1 through PR 6; v2 adds the tenant-tracker section
+// (and streams may now be Dynamic or Replay cursors, whose section tags
+// differ from Mixture's). engine.warmHashVersion was bumped alongside,
+// so v1 blobs are never looked up, let alone misparsed.
 const (
 	sysSnapMagic   uint32 = 0x52524D53 // "RRMS"
-	sysSnapVersion uint16 = 1
+	sysSnapVersion uint16 = 2
 )
 
 // Snapshot serializes a warmed system (after Warmup, before Measure).
@@ -61,6 +65,10 @@ func (s *System) Snapshot() ([]byte, error) {
 	w.Bool(s.checker != nil)
 	if s.checker != nil {
 		s.checker.snapshot(w)
+	}
+	w.Bool(s.tenants != nil)
+	if s.tenants != nil {
+		s.tenants.snapshot(w)
 	}
 	if err := s.backend.snapshot(w); err != nil {
 		return nil, err
@@ -126,6 +134,12 @@ func (s *System) Restore(blob []byte) error {
 	}
 	if s.checker != nil && r.Err() == nil {
 		s.checker.restore(r)
+	}
+	if hasTen := r.Bool(); r.Err() == nil && hasTen != (s.tenants != nil) {
+		r.Fail("sim: snapshot/config tenant mismatch (present: %v)", hasTen)
+	}
+	if s.tenants != nil && r.Err() == nil {
+		s.tenants.restore(r)
 	}
 	s.backend.restore(r, &pend)
 	if r.Bool() {

@@ -49,10 +49,11 @@ type System struct {
 	policy  core.WritePolicy
 	rrm     *core.RRM // nil for static/custom schemes
 	cores   []*cpu.Core
-	gens    []*trace.Mixture // per-core generators, retained for snapshots
+	gens    []trace.Stream // per-core streams, retained for snapshots
 	backend *backend
 	checker *retentionChecker
 	rel     *reliability.Engine // nil when the reliability model is off
+	tenants *tenantTracker      // nil unless the workload names tenants
 
 	// base is the warmup-end counter baseline collect subtracts; held on
 	// the System (with fixed-size arrays) so a run allocates nothing to
@@ -126,9 +127,17 @@ func New(cfg Config) (*System, error) {
 		s.ctl.SetReadIntegrity(s.rel)
 	}
 
-	span := cfg.Device.MemBytes / uint64(len(cfg.Workload.Cores))
-	for i, prof := range cfg.Workload.Cores {
-		gen, err := trace.NewMixture(prof, uint64(i)*span, span, cfg.Seed*1_000_003+uint64(i))
+	nStreams := cfg.Workload.NumStreams()
+	span := cfg.Device.MemBytes / uint64(nStreams)
+	for i := 0; i < nStreams; i++ {
+		var gen trace.Stream
+		var err error
+		if len(cfg.Workload.Replay) > 0 {
+			gen, err = loadReplayStream(cfg.Workload.Replay[i])
+		} else {
+			base, span := trace.CorePartition(cfg.Device.MemBytes, nStreams, i)
+			gen, err = trace.NewStream(cfg.Workload, i, base, span, cfg.Seed)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -145,6 +154,16 @@ func New(cfg Config) (*System, error) {
 		}
 		s.cores = append(s.cores, c)
 		s.gens = append(s.gens, gen)
+	}
+	if len(cfg.Workload.Tenants) > 0 {
+		s.tenants = newTenantTracker(cfg.Workload.Tenants, span)
+		if s.checker != nil {
+			s.checker.onViolation = s.tenants.noteViolation
+		}
+		if s.rel != nil {
+			s.rel.SetReadObserver(s.tenants.noteRead)
+		}
+		s.base.tenants = s.tenants.emptyCounters()
 	}
 	s.base.coreInsts = make([]uint64, 0, len(s.cores))
 	s.base.coreTimes = make([]timing.Time, 0, len(s.cores))
@@ -320,6 +339,7 @@ type baseline struct {
 	energyR   float64
 	rrm       core.Stats
 	rel       reliability.Metrics
+	tenants   *tenantCounters // nil unless tenants are tracked
 }
 
 func (s *System) captureBaseline() {
@@ -350,5 +370,8 @@ func (s *System) captureBaseline() {
 	sn.rel = reliability.Metrics{}
 	if s.rel != nil {
 		sn.rel = s.rel.Metrics()
+	}
+	if s.tenants != nil {
+		sn.tenants.copyFrom(&s.tenants.tenantCounters)
 	}
 }

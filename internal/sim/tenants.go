@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"fmt"
+
+	"rrmpcm/internal/pcm"
+	"rrmpcm/internal/snapshot"
+	"rrmpcm/internal/trace"
+	"rrmpcm/internal/tracefile"
+)
+
+// loadReplayStream opens one recorded trace stream and verifies its
+// content checksum against the configured reference — the config hash
+// covers ref.Sum, so a file whose bytes drifted since the config was
+// hashed is rejected here instead of silently simulating a different
+// workload under the old identity.
+func loadReplayStream(ref trace.TraceRef) (trace.Stream, error) {
+	f, err := tracefile.Load(ref.Path)
+	if err != nil {
+		return nil, err
+	}
+	if ref.Sum != 0 && f.Sum() != ref.Sum {
+		return nil, fmt.Errorf("sim: trace %s content checksum %#x does not match configured %#x",
+			ref.Path, f.Sum(), ref.Sum)
+	}
+	return f.Stream(), nil
+}
+
+// tenantCounters are the per-tenant accumulators (indexed by tenant,
+// then by write mode where applicable). They live both on the tracker
+// (live counters) and on the baseline (warmup-end snapshot collect
+// subtracts).
+type tenantCounters struct {
+	demandWrites  [][5]uint64 // per tenant, per mode (index mode-Mode3SETs)
+	violations    []uint64
+	readsChecked  []uint64
+	corrected     []uint64
+	uncorrectable []uint64
+}
+
+func newTenantCounters(n int) *tenantCounters {
+	return &tenantCounters{
+		demandWrites:  make([][5]uint64, n),
+		violations:    make([]uint64, n),
+		readsChecked:  make([]uint64, n),
+		corrected:     make([]uint64, n),
+		uncorrectable: make([]uint64, n),
+	}
+}
+
+// copyFrom refills the counters in place (no allocation: the baseline
+// is captured once per measurement).
+func (tc *tenantCounters) copyFrom(src *tenantCounters) {
+	copy(tc.demandWrites, src.demandWrites)
+	copy(tc.violations, src.violations)
+	copy(tc.readsChecked, src.readsChecked)
+	copy(tc.corrected, src.corrected)
+	copy(tc.uncorrectable, src.uncorrectable)
+}
+
+// tenantTracker attributes memory-system activity to named tenants.
+// Attribution is by address: stream i owns the partition
+// [i*span, (i+1)*span), and the workload maps each stream to a tenant
+// name (duplicate names merge streams into one tenant). The hot paths
+// are one division + array increments.
+type tenantTracker struct {
+	tenantCounters
+
+	names     []string // unique tenant names, first-appearance order
+	streamTen []int    // stream index -> tenant index
+	span      uint64
+}
+
+func newTenantTracker(perStream []string, span uint64) *tenantTracker {
+	t := &tenantTracker{span: span}
+	index := make(map[string]int, len(perStream))
+	for _, name := range perStream {
+		ti, ok := index[name]
+		if !ok {
+			ti = len(t.names)
+			index[name] = ti
+			t.names = append(t.names, name)
+		}
+		t.streamTen = append(t.streamTen, ti)
+	}
+	t.tenantCounters = *newTenantCounters(len(t.names))
+	return t
+}
+
+// emptyCounters allocates a zeroed baseline of matching shape.
+func (t *tenantTracker) emptyCounters() *tenantCounters {
+	return newTenantCounters(len(t.names))
+}
+
+// tenantOf maps an address to its owning tenant index.
+func (t *tenantTracker) tenantOf(addr uint64) int {
+	s := int(addr / t.span)
+	if s >= len(t.streamTen) {
+		s = len(t.streamTen) - 1
+	}
+	return t.streamTen[s]
+}
+
+// noteDemandWrite records a completed demand block write.
+func (t *tenantTracker) noteDemandWrite(addr uint64, mode pcm.WriteMode) {
+	t.demandWrites[t.tenantOf(addr)][mode-pcm.Mode3SETs]++
+}
+
+// noteViolation records a retention-deadline miss on blk.
+func (t *tenantTracker) noteViolation(blk uint64) {
+	t.violations[t.tenantOf(blk)]++
+}
+
+// noteRead records a reliability-checked demand read's classification.
+func (t *tenantTracker) noteRead(addr uint64, corrected, uncorrectable bool) {
+	ti := t.tenantOf(addr)
+	t.readsChecked[ti]++
+	if corrected {
+		t.corrected[ti]++
+	}
+	if uncorrectable {
+		t.uncorrectable[ti]++
+	}
+}
+
+// Section tag for tenant counters inside a system snapshot.
+const tenSection = 0x544E // "TN"
+
+func (t *tenantTracker) snapshot(w *snapshot.Writer) {
+	w.Section(tenSection)
+	w.U32(uint32(len(t.names)))
+	for i := range t.names {
+		w.String(t.names[i])
+		for _, v := range t.demandWrites[i] {
+			w.U64(v)
+		}
+		w.U64(t.violations[i])
+		w.U64(t.readsChecked[i])
+		w.U64(t.corrected[i])
+		w.U64(t.uncorrectable[i])
+	}
+}
+
+func (t *tenantTracker) restore(r *snapshot.Reader) {
+	r.Section(tenSection)
+	if n := r.U32(); r.Err() == nil && int(n) != len(t.names) {
+		r.Fail("sim: snapshot has %d tenants, config %d", n, len(t.names))
+	}
+	for i := range t.names {
+		if r.Err() != nil {
+			return
+		}
+		if name := r.String(); r.Err() == nil && name != t.names[i] {
+			r.Fail("sim: snapshot tenant %d is %q, config %q", i, name, t.names[i])
+			return
+		}
+		for m := range t.demandWrites[i] {
+			t.demandWrites[i][m] = r.U64()
+		}
+		t.violations[i] = r.U64()
+		t.readsChecked[i] = r.U64()
+		t.corrected[i] = r.U64()
+		t.uncorrectable[i] = r.U64()
+	}
+}
+
+// collectTenants builds the per-tenant metrics slice: per-core
+// performance aggregated by the stream→tenant map, plus the tracker's
+// counter deltas against the warmup baseline.
+func (s *System) collectTenants(m *Metrics) {
+	t := s.tenants
+	base := s.base.tenants
+	out := make([]TenantMetrics, len(t.names))
+	longMode := s.policy.GlobalRefreshMode()
+	for i, name := range t.names {
+		tm := TenantMetrics{Name: name}
+		var shortW, totalW uint64
+		nonzero := 0
+		var deltas [5]uint64
+		for mi, mode := range pcm.Modes() {
+			n := t.demandWrites[i][mi] - base.demandWrites[i][mi]
+			deltas[mi] = n
+			totalW += n
+			if n > 0 {
+				nonzero++
+			}
+			if mode < longMode {
+				shortW += n
+			}
+		}
+		tm.DemandWrites = totalW
+		if nonzero > 0 {
+			tm.WritesByMode = make(ModeWrites, nonzero)
+			for mi, mode := range pcm.Modes() {
+				if deltas[mi] > 0 {
+					tm.WritesByMode[mode] = deltas[mi]
+				}
+			}
+		}
+		if totalW > 0 {
+			tm.ShortWriteFraction = float64(shortW) / float64(totalW)
+		}
+		tm.RetentionViolations = t.violations[i] - base.violations[i]
+		tm.ReadsChecked = t.readsChecked[i] - base.readsChecked[i]
+		tm.CorrectedReads = t.corrected[i] - base.corrected[i]
+		tm.UncorrectableReads = t.uncorrectable[i] - base.uncorrectable[i]
+		out[i] = tm
+	}
+	for si, ti := range t.streamTen {
+		out[ti].Cores++
+		st := s.cores[si].Stats()
+		out[ti].Instructions += st.Instructions - s.base.coreInsts[si]
+		out[ti].IPC += m.PerCoreIPC[si]
+	}
+	m.Tenants = out
+}

@@ -1,0 +1,33 @@
+//go:build !race
+
+package trace
+
+import (
+	"testing"
+)
+
+// TestDynamicNextZeroAllocs pins the non-stationary hot path at zero
+// steady-state allocations, phases + diurnal + burst all active.
+// (Skipped under -race: the detector's instrumentation allocates.)
+func TestDynamicNextZeroAllocs(t *testing.T) {
+	prof, err := ProfileByName("GemsFDTD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDynamic(prof, testDynamics(), 0, 2<<30, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var op Op
+	for i := 0; i < 100_000; i++ {
+		d.Next(&op)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 1000; i++ {
+			d.Next(&op)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("Next allocates %.2f per 1000 ops, want 0", avg)
+	}
+}

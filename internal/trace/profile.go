@@ -204,9 +204,83 @@ func ProfileByName(name string) (Profile, error) {
 
 // Workload names the per-core benchmark assignment of one experiment run:
 // either four copies of one benchmark or one of the Table VII mixes.
+//
+// The three optional fields below are all omitempty in the config-hash
+// image, so every pre-existing workload keeps its hash (and its run
+// cache entries and warm snapshots) unchanged.
 type Workload struct {
 	Name  string
 	Cores []Profile
+
+	// Dynamics, when set, makes the synthetic streams non-stationary
+	// (phase switches, diurnal modulation, bursty arrivals). It applies
+	// to every core. Synthetic workloads only.
+	Dynamics *Dynamics `json:",omitempty"`
+
+	// Replay, when non-empty, replaces synthetic generation entirely:
+	// stream i replays Replay[i]'s trace file (tracefile format). Cores
+	// must be empty — the core-model parameters come from the files.
+	Replay []TraceRef `json:",omitempty"`
+
+	// Tenants optionally names the owner of each stream for per-tenant
+	// attribution (len must equal NumStreams). Duplicate names merge
+	// cores into one tenant.
+	Tenants []string `json:",omitempty"`
+}
+
+// TraceRef identifies one recorded trace stream.
+type TraceRef struct {
+	// Path of the trace file.
+	Path string
+	// Sum is the FNV-1a checksum of the complete file, verified at
+	// load. It content-addresses the replay: the config hash covers the
+	// trace bytes, not just a path, so replay configs can never collide
+	// with each other (or with generator configs) through path reuse.
+	Sum uint64
+}
+
+// NumStreams returns the number of per-core streams the workload
+// describes: replay files when replaying, profiles otherwise.
+func (w Workload) NumStreams() int {
+	if len(w.Replay) > 0 {
+		return len(w.Replay)
+	}
+	return len(w.Cores)
+}
+
+// Validate checks the workload's structural consistency (the profiles
+// themselves are validated at stream construction).
+func (w Workload) Validate() error {
+	if len(w.Replay) > 0 {
+		if len(w.Cores) > 0 {
+			return fmt.Errorf("trace: workload %s mixes replay files and synthetic cores", w.Name)
+		}
+		if w.Dynamics != nil {
+			return fmt.Errorf("trace: workload %s combines replay with dynamics", w.Name)
+		}
+		for i, ref := range w.Replay {
+			if ref.Path == "" {
+				return fmt.Errorf("trace: workload %s replay stream %d has no path", w.Name, i)
+			}
+			if ref.Sum == 0 {
+				return fmt.Errorf("trace: workload %s replay stream %d has no content checksum", w.Name, i)
+			}
+		}
+	}
+	if w.Dynamics != nil {
+		if err := w.Dynamics.Validate(); err != nil {
+			return err
+		}
+	}
+	if n := len(w.Tenants); n > 0 && n != w.NumStreams() {
+		return fmt.Errorf("trace: workload %s names %d tenants for %d streams", w.Name, n, w.NumStreams())
+	}
+	for i, t := range w.Tenants {
+		if t == "" {
+			return fmt.Errorf("trace: workload %s tenant %d has an empty name", w.Name, i)
+		}
+	}
+	return nil
 }
 
 // Workloads returns the paper's eleven workloads: nine single-benchmark
@@ -230,9 +304,61 @@ func Workloads() []Workload {
 	return ws
 }
 
-// WorkloadByName finds a workload (single benchmark or mix).
+// DynamicWorkloads returns the non-stationary workload set used by the
+// W1 experiment: traffic whose hot sets move, dilute or vanish over
+// time — the regimes where RRM's decay/demotion machinery (rather than
+// just its hot-set capture) determines the outcome.
+func DynamicWorkloads() []Workload {
+	byName := func(n string) Profile {
+		p, err := ProfileByName(n)
+		if err != nil {
+			panic(err)
+		}
+		return p
+	}
+	gems, lbm, milc := byName("GemsFDTD"), byName("lbm"), byName("milc")
+	return []Workload{
+		{
+			// Program phases: a write-hot FDTD kernel alternating with a
+			// compute-bound stretch and a streaming solver. Each switch
+			// strands the previous phase's hot regions; RRM must decay
+			// them back to long-retention mode.
+			Name:  "PHASE_1",
+			Cores: []Profile{gems, gems, gems, gems},
+			Dynamics: &Dynamics{Phases: []Phase{
+				{Profile: "GemsFDTD", Ops: 400_000},
+				{Profile: "hmmer", Ops: 150_000},
+				{Profile: "libquantum", Ops: 400_000},
+			}},
+		},
+		{
+			// On/off bursts: full-rate lbm writing interleaved with long
+			// near-idle dwells (5% load) during which fast-refresh work
+			// on the stranded hot set is pure overhead.
+			Name:     "BURST_1",
+			Cores:    []Profile{lbm, lbm, lbm, lbm},
+			Dynamics: &Dynamics{Burst: &Burst{OnOps: 250_000, OffOps: 120_000, OffLoad: 0.05}},
+		},
+		{
+			// Diurnal load swing: milc traffic between 100% and 15% on a
+			// 500k-op period — hot regions stay hot but their rewrite
+			// intervals stretch through the trough.
+			Name:     "DIURNAL_1",
+			Cores:    []Profile{milc, milc, milc, milc},
+			Dynamics: &Dynamics{Diurnal: &Diurnal{PeriodOps: 500_000, MinLoad: 0.15}},
+		},
+	}
+}
+
+// WorkloadByName finds a workload (single benchmark, mix, or one of the
+// non-stationary DynamicWorkloads).
 func WorkloadByName(name string) (Workload, error) {
 	for _, w := range Workloads() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	for _, w := range DynamicWorkloads() {
 		if w.Name == name {
 			return w, nil
 		}

@@ -1,0 +1,57 @@
+package tracefile
+
+import (
+	"testing"
+
+	"rrmpcm/internal/trace"
+)
+
+// FuzzTraceFileRoundTrip drives the encoder and decoder from fuzzed
+// (seed, count) pairs — every recording must parse back to the exact op
+// sequence — and feeds the raw blob mutations the fuzzer finds into
+// Parse, which must reject or accept without panicking.
+func FuzzTraceFileRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint16(1), []byte{})
+	f.Add(uint64(42), uint16(300), []byte{0x52, 0x52, 0x4D, 0x54})
+	f.Add(uint64(7), uint16(20_000), []byte(nil))
+	f.Fuzz(func(t *testing.T, seed uint64, count uint16, raw []byte) {
+		// Arbitrary bytes must never panic the parser.
+		if _, err := Parse(raw); err == nil && len(raw) < 32 {
+			t.Fatalf("%d-byte blob parsed as a trace", len(raw))
+		}
+
+		n := uint64(count)
+		if n == 0 {
+			return
+		}
+		gen, meta := testMixture(t, seed)
+		blob, err := Record(gen, meta, n)
+		if err != nil {
+			t.Fatalf("record(%d, %d): %v", seed, n, err)
+		}
+		tf, err := Parse(blob)
+		if err != nil {
+			t.Fatalf("parse own recording: %v", err)
+		}
+		if tf.Ops() != n {
+			t.Fatalf("Ops = %d, want %d", tf.Ops(), n)
+		}
+		ref, _ := testMixture(t, seed)
+		r := tf.Stream()
+		var got, want trace.Op
+		for i := uint64(0); i < n; i++ {
+			r.Next(&got)
+			ref.Next(&want)
+			if got != want {
+				t.Fatalf("op %d: got %+v, want %+v", i, got, want)
+			}
+		}
+
+		// Flipping any single byte must be detected.
+		pos := int(seed % uint64(len(blob)))
+		blob[pos] ^= 0xFF
+		if _, err := Parse(blob); err == nil {
+			t.Fatalf("corruption at byte %d accepted", pos)
+		}
+	})
+}

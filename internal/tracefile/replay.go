@@ -1,0 +1,114 @@
+package tracefile
+
+import (
+	"encoding/binary"
+
+	"rrmpcm/internal/snapshot"
+	"rrmpcm/internal/trace"
+)
+
+// Section tag for Replay cursor state inside a system snapshot.
+const replaySection = 0x5446 // "TF"
+
+// Replay is a trace.Stream over a parsed File: it decodes the recorded
+// ops in order and wraps around at the end (recorded traces are finite;
+// the simulator's streams are not). Next is allocation-free; a trace
+// must be recorded long enough that a run never wraps if exact
+// generator equivalence is wanted (Wraps reports it).
+type Replay struct {
+	f *File
+
+	ci   int    // current chunk index
+	off  int    // byte offset into the chunk payload
+	done uint32 // ops consumed from the current chunk
+	prev uint64 // delta base (previous op's address)
+
+	pos   uint64 // ops consumed in the current pass over the file
+	wraps uint64
+}
+
+// Stream starts a fresh replay cursor at the beginning of the trace.
+func (f *File) Stream() *Replay { return &Replay{f: f} }
+
+// Name implements trace.Generator.
+func (r *Replay) Name() string { return r.f.meta.Name }
+
+// BaseCPI implements trace.Stream.
+func (r *Replay) BaseCPI() float64 { return r.f.meta.BaseCPI }
+
+// MaxMLP implements trace.Stream.
+func (r *Replay) MaxMLP() int { return r.f.meta.MaxMLP }
+
+// Wraps returns how many times the cursor has wrapped past the end.
+func (r *Replay) Wraps() uint64 { return r.wraps }
+
+// Pos returns the ops consumed in the current pass.
+func (r *Replay) Pos() uint64 { return r.pos }
+
+// Next implements trace.Generator. Decoding cannot fail: Parse proved
+// every chunk decodes to exactly its declared op count.
+func (r *Replay) Next(op *trace.Op) {
+	c := &r.f.chunks[r.ci]
+	if r.done == c.ops {
+		r.ci++
+		if r.ci == len(r.f.chunks) {
+			r.ci = 0
+			r.wraps++
+			r.pos = 0
+		}
+		c = &r.f.chunks[r.ci]
+		r.off, r.done, r.prev = 0, 0, 0
+	}
+	head, n := binary.Uvarint(c.payload[r.off:])
+	r.off += n
+	zz, n := binary.Uvarint(c.payload[r.off:])
+	r.off += n
+	r.done++
+	r.pos++
+
+	op.NonMem = int(head >> 1)
+	op.Store = head&1 != 0
+	r.prev += uint64(int64(zz>>1) ^ -int64(zz&1))
+	op.Addr = r.prev
+}
+
+// Snapshot implements trace.Stream: only the logical position travels
+// (the chunk data is rebuilt from the file at restore).
+func (r *Replay) Snapshot(w *snapshot.Writer) {
+	w.Section(replaySection)
+	w.U64(r.pos)
+	w.U64(r.wraps)
+}
+
+// Restore implements trace.Stream, seeking a fresh cursor over the
+// same file to the snapshotted position (decode-skip within the target
+// chunk; earlier chunks are skipped via the index).
+func (r *Replay) Restore(sr *snapshot.Reader) {
+	sr.Section(replaySection)
+	pos := sr.U64()
+	wraps := sr.U64()
+	if sr.Err() != nil {
+		return
+	}
+	if pos > r.f.ops {
+		sr.Fail("tracefile: snapshot position %d beyond %d recorded ops", pos, r.f.ops)
+		return
+	}
+	r.ci, r.off, r.done, r.prev = 0, 0, 0, 0
+	r.wraps = wraps
+	r.pos = 0
+	for r.ci < len(r.f.chunks)-1 && r.f.chunks[r.ci+1].before <= pos {
+		r.ci++
+	}
+	c := &r.f.chunks[r.ci]
+	r.pos = c.before
+	for r.pos < pos {
+		_, n := binary.Uvarint(c.payload[r.off:]) // head
+		r.off += n
+		zz, n := binary.Uvarint(c.payload[r.off:])
+		r.off += n
+		r.done++
+		r.pos++
+		r.prev += uint64(int64(zz>>1) ^ -int64(zz&1))
+	}
+}

@@ -1,0 +1,276 @@
+// Package tracefile implements the compact streaming trace format: a
+// recorded trace.Generator stream that internal/sim can replay exactly
+// like a synthetic one.
+//
+// # Format
+//
+// The container is the internal/snapshot codec (magic/version header,
+// fixed-width little-endian fields, sticky-error reader, trailing
+// FNV-1a checksum over the whole file), so truncation and whole-file
+// corruption are rejected the same way system snapshots reject them.
+// Inside it:
+//
+//	header   magic "RRMT", version 1
+//	meta     name, BaseCPI, MaxMLP, address base/span, seed, op count
+//	chunks   count, then per chunk: op count, FNV-1a of the payload,
+//	         and the payload itself
+//
+// Each chunk payload packs up to 16 Ki ops as varints: one uvarint
+// head = NonMem<<1|store, then one zigzag varint address delta against
+// the previous op's address (reset to 0 at every chunk start, so each
+// chunk decodes independently — the layout an mmap-based reader can
+// checksum and decode chunk by chunk without touching the rest of the
+// file). Sequential streams delta-encode to 2-3 bytes per op.
+//
+// Parse validates everything eagerly — header, both checksum layers,
+// and a full decode pass per chunk — so Replay.Next (which has no
+// error return, matching trace.Generator) can never fail at
+// simulation time.
+package tracefile
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+
+	"rrmpcm/internal/snapshot"
+	"rrmpcm/internal/trace"
+)
+
+const (
+	// Magic identifies a trace file ("RRMT").
+	Magic uint32 = 0x52524D54
+	// Version is the current format version.
+	Version uint16 = 1
+
+	// chunkOps is the writer's ops-per-chunk target.
+	chunkOps = 1 << 14
+
+	metaSection  = 0x4D44 // "MD"
+	chunkSection = 0x434B // "CK"
+)
+
+// Meta describes the recorded stream: identity plus the core-model
+// parameters (trace.Stream's BaseCPI/MaxMLP contract) and provenance
+// (the address partition and seed the stream was generated with).
+type Meta struct {
+	Name    string
+	BaseCPI float64
+	MaxMLP  int
+	Base    uint64
+	Span    uint64
+	Seed    uint64
+}
+
+// Writer accumulates ops and assembles the trace blob.
+type Writer struct {
+	meta   Meta
+	chunks []chunkBuf
+	cur    []byte
+	curOps uint32
+	prev   uint64
+	ops    uint64
+}
+
+type chunkBuf struct {
+	payload []byte
+	ops     uint32
+}
+
+// NewWriter starts a trace with the given metadata.
+func NewWriter(meta Meta) *Writer {
+	return &Writer{meta: meta}
+}
+
+// Append records one op.
+func (w *Writer) Append(op trace.Op) {
+	if w.curOps == chunkOps {
+		w.flush()
+	}
+	head := uint64(op.NonMem) << 1
+	if op.Store {
+		head |= 1
+	}
+	w.cur = binary.AppendUvarint(w.cur, head)
+	delta := int64(op.Addr - w.prev)
+	w.cur = binary.AppendUvarint(w.cur, uint64(delta<<1)^uint64(delta>>63))
+	w.prev = op.Addr
+	w.curOps++
+	w.ops++
+}
+
+func (w *Writer) flush() {
+	if w.curOps == 0 {
+		return
+	}
+	w.chunks = append(w.chunks, chunkBuf{payload: w.cur, ops: w.curOps})
+	w.cur = nil
+	w.curOps = 0
+	w.prev = 0 // each chunk's delta base resets
+}
+
+// Ops returns the number of ops appended so far.
+func (w *Writer) Ops() uint64 { return w.ops }
+
+// Finish assembles and returns the complete trace file bytes.
+func (w *Writer) Finish() ([]byte, error) {
+	w.flush()
+	if len(w.chunks) == 0 {
+		return nil, fmt.Errorf("tracefile: empty trace")
+	}
+	size := 64 + len(w.meta.Name)
+	for _, c := range w.chunks {
+		size += len(c.payload) + 16
+	}
+	sw := snapshot.NewWriter(size)
+	sw.Header(Magic, Version)
+	sw.Section(metaSection)
+	sw.String(w.meta.Name)
+	sw.F64(w.meta.BaseCPI)
+	sw.I64(int64(w.meta.MaxMLP))
+	sw.U64(w.meta.Base)
+	sw.U64(w.meta.Span)
+	sw.U64(w.meta.Seed)
+	sw.U64(w.ops)
+	sw.U32(uint32(len(w.chunks)))
+	for _, c := range w.chunks {
+		sw.Section(chunkSection)
+		sw.U32(c.ops)
+		sw.U64(snapshot.Checksum(c.payload))
+		sw.Bytes(c.payload)
+	}
+	return sw.Finish(), nil
+}
+
+// Record drains n ops from gen into a finished trace blob.
+func Record(gen trace.Generator, meta Meta, n uint64) ([]byte, error) {
+	if n == 0 {
+		return nil, fmt.Errorf("tracefile: cannot record zero ops")
+	}
+	w := NewWriter(meta)
+	var op trace.Op
+	for i := uint64(0); i < n; i++ {
+		gen.Next(&op)
+		w.Append(op)
+	}
+	return w.Finish()
+}
+
+// File is a parsed, fully validated trace. It is immutable and safe to
+// share: every Stream() gets its own cursor over the same chunk data.
+type File struct {
+	meta   Meta
+	ops    uint64
+	sum    uint64
+	chunks []chunk
+}
+
+type chunk struct {
+	payload []byte
+	ops     uint32
+	before  uint64 // cumulative ops in earlier chunks (seek index)
+}
+
+// Meta returns the stream metadata.
+func (f *File) Meta() Meta { return f.meta }
+
+// Ops returns the total recorded op count.
+func (f *File) Ops() uint64 { return f.ops }
+
+// Sum returns the FNV-1a checksum of the complete file bytes — the
+// content address trace.TraceRef.Sum is checked against.
+func (f *File) Sum() uint64 { return f.sum }
+
+// Parse validates and indexes a trace blob. The returned File
+// references blob's memory; the caller must not mutate it.
+func Parse(blob []byte) (*File, error) {
+	r, err := snapshot.NewReader(blob, Magic, Version)
+	if err != nil {
+		return nil, fmt.Errorf("tracefile: %w", err)
+	}
+	f := &File{sum: snapshot.Checksum(blob)}
+	r.Section(metaSection)
+	f.meta.Name = r.String()
+	f.meta.BaseCPI = r.F64()
+	f.meta.MaxMLP = int(r.I64())
+	f.meta.Base = r.U64()
+	f.meta.Span = r.U64()
+	f.meta.Seed = r.U64()
+	f.ops = r.U64()
+	nChunks := r.Count(1 << 24)
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("tracefile: %w", err)
+	}
+	if f.meta.BaseCPI <= 0 || f.meta.MaxMLP < 0 {
+		return nil, fmt.Errorf("tracefile: invalid core parameters (BaseCPI %v, MaxMLP %d)", f.meta.BaseCPI, f.meta.MaxMLP)
+	}
+	total := uint64(0)
+	for i := 0; i < nChunks; i++ {
+		r.Section(chunkSection)
+		ops := r.U32()
+		sum := r.U64()
+		payload := r.Bytes()
+		if err := r.Err(); err != nil {
+			return nil, fmt.Errorf("tracefile: chunk %d: %w", i, err)
+		}
+		if snapshot.Checksum(payload) != sum {
+			return nil, fmt.Errorf("tracefile: chunk %d payload checksum mismatch", i)
+		}
+		if err := validateChunk(payload, ops); err != nil {
+			return nil, fmt.Errorf("tracefile: chunk %d: %w", i, err)
+		}
+		f.chunks = append(f.chunks, chunk{payload: payload, ops: ops, before: total})
+		total += uint64(ops)
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("tracefile: %w", err)
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("tracefile: empty trace")
+	}
+	if total != f.ops {
+		return nil, fmt.Errorf("tracefile: header declares %d ops, chunks hold %d", f.ops, total)
+	}
+	return f, nil
+}
+
+// Load reads and parses a trace file from disk.
+func Load(path string) (*File, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("tracefile: %w", err)
+	}
+	f, err := Parse(blob)
+	if err != nil {
+		return nil, fmt.Errorf("%w (%s)", err, path)
+	}
+	return f, nil
+}
+
+// validateChunk decodes the whole payload once, proving that exactly
+// ops ops consume exactly the payload — after this, replay decoding
+// cannot fail.
+func validateChunk(payload []byte, ops uint32) error {
+	if ops == 0 {
+		return fmt.Errorf("zero ops")
+	}
+	off := 0
+	for i := uint32(0); i < ops; i++ {
+		head, n := binary.Uvarint(payload[off:])
+		if n <= 0 {
+			return fmt.Errorf("op %d: bad head varint", i)
+		}
+		off += n
+		if head>>1 > uint64(1)<<31 {
+			return fmt.Errorf("op %d: implausible non-mem gap %d", i, head>>1)
+		}
+		if _, n = binary.Uvarint(payload[off:]); n <= 0 {
+			return fmt.Errorf("op %d: bad delta varint", i)
+		}
+		off += n
+	}
+	if off != len(payload) {
+		return fmt.Errorf("%d trailing bytes after %d ops", len(payload)-off, ops)
+	}
+	return nil
+}

@@ -260,3 +260,50 @@ type Mixture = trace.Mixture
 func NewMixture(p Profile, base, span, seed uint64) (*Mixture, error) {
 	return trace.NewMixture(p, base, span, seed)
 }
+
+// Stream is the per-core workload source the simulator drives: a
+// deterministic generator plus core-model parameters and snapshot
+// hooks. Mixture, Dynamic (non-stationary) and trace-file replay
+// cursors all implement it.
+type Stream = trace.Stream
+
+// Dynamics declares a workload's non-stationary behavior: program
+// phases, diurnal load modulation and bursty (on/off) arrivals
+// (Workload.Dynamics; nil = stationary).
+type (
+	Dynamics = trace.Dynamics
+	Phase    = trace.Phase
+	Diurnal  = trace.Diurnal
+	Burst    = trace.Burst
+)
+
+// TraceRef points a workload stream at a recorded trace file; Sum
+// content-addresses the file so a replay run's identity covers the
+// trace bytes (Workload.Replay).
+type TraceRef = trace.TraceRef
+
+// DynamicWorkloads returns the non-stationary reference workloads
+// (phase-changing, bursty, diurnal) used by the phases experiment.
+func DynamicWorkloads() []Workload { return trace.DynamicWorkloads() }
+
+// NewStream builds core i's generator for a synthetic workload over the
+// address partition [base, base+span) using the simulator's per-core
+// seeding rule.
+func NewStream(w Workload, i int, base, span, seed uint64) (Stream, error) {
+	return trace.NewStream(w, i, base, span, seed)
+}
+
+// CoreSeed is the simulator's per-core seeding rule; CorePartition its
+// address-layout rule. Trace exporters use both to reproduce the exact
+// streams a simulation run would generate.
+func CoreSeed(seed uint64, core int) uint64 { return trace.CoreSeed(seed, core) }
+
+// CorePartition returns core i's address partition when n streams split
+// memBytes evenly.
+func CorePartition(memBytes uint64, n, core int) (base, span uint64) {
+	return trace.CorePartition(memBytes, n, core)
+}
+
+// TenantMetrics is the per-tenant attribution section of Metrics
+// (Metrics.Tenants, non-empty only for multi-tenant workloads).
+type TenantMetrics = sim.TenantMetrics

@@ -1,0 +1,38 @@
+#!/usr/bin/env sh
+# replay_smoke.sh — end-to-end proof of the trace-file round trip:
+# export a synthetic workload with tracegen, simulate the generator
+# configuration and the replay configuration with identical windows, and
+# require byte-identical JSON metrics. This is the executable form of
+# the subsystem's contract (DESIGN.md §13): a recorded trace is a
+# perfect substitute for the generator that produced it.
+#
+# Usage: scripts/replay_smoke.sh [workload] [ops-per-core]
+# Env:   GO overrides the go binary.
+set -eu
+cd "$(dirname "$0")/.."
+
+WORKLOAD=${1:-hmmer}
+OPS=${2:-1500000}
+GO=${GO:-go}
+
+TMP=$(mktemp -d)
+trap 'rm -f rrmsim_gen.json rrmsim_replay.json; rm -rf "$TMP"' EXIT
+
+echo "replay_smoke: exporting $WORKLOAD ($OPS ops/core)" >&2
+"$GO" run ./cmd/tracegen -workload "$WORKLOAD" -export "$TMP" -ops "$OPS" -seed 1 >&2
+
+TRACES=$(ls "$TMP"/*.rrmt | sort | paste -sd, -)
+SIMFLAGS="-workload $WORKLOAD -scheme rrm -duration 4ms -warmup 1ms -timescale 1000 -seed 1 -json"
+
+echo "replay_smoke: generator run" >&2
+"$GO" run ./cmd/rrmsim $SIMFLAGS > rrmsim_gen.json
+echo "replay_smoke: replay run" >&2
+"$GO" run ./cmd/rrmsim $SIMFLAGS -replay "$TRACES" > rrmsim_replay.json
+
+if cmp -s rrmsim_gen.json rrmsim_replay.json; then
+    echo "replay_smoke: OK — replay metrics byte-identical to generator metrics"
+else
+    echo "replay_smoke: FAIL — replay metrics differ from generator metrics" >&2
+    diff rrmsim_gen.json rrmsim_replay.json >&2 || true
+    exit 1
+fi
