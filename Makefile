@@ -8,13 +8,14 @@
 #          sim/trace/tracefile paths its workers execute concurrently)
 #   bench  paper-artifact benchmarks (quick windows)
 #   bench-json
-#          hot-path component benchmarks -> BENCH_7.json (ns/op, B/op,
+#          hot-path component benchmarks -> BENCH_8.json (ns/op, B/op,
 #          allocs/op per benchmark, diffed against the recorded
-#          pre-optimization baseline; includes the cold/warm sweep pair
-#          and the trace generator/replay trio)
+#          pre-optimization baseline; includes the cold/warm sweep pair,
+#          the trace generator/replay trio, and the full-vs-sampled run
+#          pair whose ns/op ratio is the sampling speedup)
 #   bench-check
 #          CI perf gate: re-run the tracked benchmarks and fail on a
-#          >10% ns/op or any allocs/op regression vs BENCH_7.json
+#          >10% ns/op or any allocs/op regression vs BENCH_8.json
 #   profile
 #          CPU+heap profile of a representative experiment pass
 #          (cpu.prof / mem.prof; inspect with `go tool pprof`)
@@ -27,6 +28,10 @@
 # replay-smoke exports a synthetic workload as trace files and fails
 # unless replaying them yields byte-identical metrics to the generator.
 #
+# sample-smoke runs one steady-state configuration in full and sampled
+# (8 windows, stride-16 fast-forward) and fails unless the sampled 95%
+# interval contains the full-run IPC and the sampled run is faster.
+#
 # cluster-smoke boots a coordinator and two workers as real processes,
 # SIGKILLs one worker mid-flight and fails unless every job completes
 # with zero duplicate simulations. cluster-load runs the acceptance
@@ -34,7 +39,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench bench-json bench-check profile ci serve-smoke replay-smoke cluster-smoke cluster-load
+.PHONY: build vet test race bench bench-json bench-check profile ci serve-smoke replay-smoke sample-smoke cluster-smoke cluster-load
 
 build:
 	$(GO) build ./...
@@ -46,13 +51,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/cluster/... ./internal/engine/... ./internal/experiments/... ./internal/reliability/... ./internal/server/... ./internal/sim/... ./internal/trace/... ./internal/tracefile/...
+	$(GO) test -race ./internal/cluster/... ./internal/engine/... ./internal/experiments/... ./internal/reliability/... ./internal/sampling/... ./internal/server/... ./internal/sim/... ./internal/stats/... ./internal/trace/... ./internal/tracefile/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
 bench-json:
-	GO="$(GO)" ./scripts/bench_json.sh BENCH_7.json
+	GO="$(GO)" ./scripts/bench_json.sh BENCH_8.json
 
 bench-check:
 	GO="$(GO)" ./scripts/bench_check.sh
@@ -67,6 +72,9 @@ serve-smoke:
 
 replay-smoke:
 	GO="$(GO)" ./scripts/replay_smoke.sh
+
+sample-smoke:
+	GO="$(GO)" ./scripts/sample_smoke.sh
 
 cluster-smoke:
 	GO="$(GO)" ./scripts/cluster_smoke.sh

@@ -313,6 +313,64 @@ func BenchmarkReliabilitySimulation(b *testing.B) {
 	}
 }
 
+// sampledBenchConfig is the steady-state regime where interval sampling
+// pays for itself: the retention clock at real time (TimeScale 1) and a
+// long measured window, so retention events are sparse and nearly all
+// wall time goes to cycle-accurate core/memory simulation. Both halves
+// of the pair share this config exactly; BenchmarkSampledRun only adds
+// the SamplingSpec.
+func sampledBenchConfig(b *testing.B) Config {
+	b.Helper()
+	w, err := WorkloadByName("GemsFDTD")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig(RRMScheme(), w)
+	cfg.Duration = 50 * Millisecond
+	cfg.Warmup = 1 * Millisecond
+	cfg.TimeScale = 1
+	return cfg
+}
+
+// BenchmarkFullRun / BenchmarkSampledRun are the headline pair for the
+// sampling executor: identical configs, one simulated cycle by cycle,
+// the other through eight 100 us detailed windows with stride-16
+// functional fast-forward between them. The ns/op ratio is the recorded
+// speedup in BENCH_8.json; internal/sampling/validate_test.go proves
+// the sampled intervals still contain the full-run metrics.
+func BenchmarkFullRun(b *testing.B) {
+	cfg := sampledBenchConfig(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(m.Instructions)/b.Elapsed().Seconds(), "sim-insts/s")
+	}
+}
+
+func BenchmarkSampledRun(b *testing.B) {
+	cfg := sampledBenchConfig(b)
+	cfg.Sampling = &SamplingSpec{
+		Windows:      8,
+		Window:       100 * Microsecond,
+		DetailWarmup: 100 * Microsecond,
+		FFStride:     16,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := RunSampled(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.Sampling == nil {
+			b.Fatal("sampling report missing")
+		}
+		b.ReportMetric(float64(m.Instructions)/b.Elapsed().Seconds(), "sim-insts/s")
+	}
+}
+
 // benchDynamicStream builds stream 0 of a named non-stationary
 // workload with the simulator's partition and seeding rules.
 func benchDynamicStream(b *testing.B, workload string) Stream {

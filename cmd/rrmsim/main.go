@@ -7,10 +7,20 @@
 //	       [-duration 40ms] [-warmup 10ms] [-timescale 100]
 //	       [-hot-threshold 16] [-coverage 4] [-region-kb 4] [-seed 1]
 //	       [-parallel N] [-cache-dir dir] [-warm-start] [-json]
+//	       [-sample] [-sample-windows 8] [-sample-window 100us]
+//	       [-sample-detail 100us] [-sample-stride 1]
 //	       [-replay f0.rrmt,f1.rrmt,...] [-tenants A,B,...]
 //	       [-reliability] [-ecc-t 4] [-prog-ber 1e-5] [-ecc-latency 25ns]
 //	       [-patrol] [-patrol-interval 100ms] [-patrol-batch 64]
 //	       [-cpuprofile file] [-memprofile file]
+//
+// -sample runs each simulation as a SMARTS-style sampled run instead of
+// one contiguous detailed window: -sample-windows detailed windows of
+// -sample-window each (preceded by -sample-detail of discarded pre-roll)
+// are spread over -duration, the gaps fast-forward in functional-only
+// mode, and the windows execute in parallel. The report gains a Sampling
+// section with 95% confidence intervals; -sample-stride above 1 thins
+// the functional warming between windows for long steady-state runs.
 //
 // -reliability turns on the drift-fault injector, the t-bit ECC model
 // and the scrubber; the report gains a Reliability section and the JSON
@@ -87,6 +97,11 @@ func main() {
 	patrol := flag.Bool("patrol", false, "enable background patrol scrubbing (with -reliability)")
 	patrolInterval := flag.Duration("patrol-interval", 100*time.Millisecond, "real-time interval between patrol batches (with -patrol)")
 	patrolBatch := flag.Int("patrol-batch", rrmpcm.DefaultReliabilityConfig().PatrolBatch, "lines scrubbed per patrol batch (with -patrol)")
+	sample := flag.Bool("sample", false, "run as a SMARTS-style sampled simulation (report gains confidence intervals)")
+	sampleWindows := flag.Int("sample-windows", 8, "detailed measurement windows per sampled run (with -sample)")
+	sampleWindow := flag.Duration("sample-window", 100*time.Microsecond, "measured length of each detailed window (with -sample)")
+	sampleDetail := flag.Duration("sample-detail", 100*time.Microsecond, "detailed pre-roll discarded before each window (with -sample)")
+	sampleStride := flag.Int("sample-stride", 1, "fast-forward thinning between windows: only the trailing 1/N of each gap runs functional traffic (with -sample; >1 trades fidelity for speed on steady-state runs)")
 	replay := flag.String("replay", "", "comma-separated trace files (tracegen -export), one per core; -workload names the run")
 	tenants := flag.String("tenants", "", "comma-separated tenant names, one per stream (enables per-tenant attribution)")
 	jsonOut := flag.Bool("json", false, "print metrics as JSON instead of the text report")
@@ -173,6 +188,17 @@ func main() {
 			rel.PatrolInterval = rrmpcm.Time(patrolInterval.Nanoseconds()) * rrmpcm.Nanosecond
 			rel.PatrolBatch = *patrolBatch
 			cfg.Reliability = rel
+		}
+		if *sample {
+			cfg.Sampling = &rrmpcm.SamplingSpec{
+				Windows:      *sampleWindows,
+				Window:       rrmpcm.Time(sampleWindow.Nanoseconds()) * rrmpcm.Nanosecond,
+				DetailWarmup: rrmpcm.Time(sampleDetail.Nanoseconds()) * rrmpcm.Nanosecond,
+				FFStride:     *sampleStride,
+			}
+			if err := cfg.Sampling.Validate(cfg.Duration); err != nil {
+				fatal(err)
+			}
 		}
 		job, err := experiments.NewJob(cfg, "")
 		if err != nil {
@@ -276,6 +302,20 @@ func parseScheme(name string, hotThreshold, coverage int, regionKB uint64) (rrmp
 func report(m rrmpcm.Metrics, wall time.Duration) bool {
 	fmt.Printf("scheme %s, workload %s: %.1f ms simulated in %.1f s (retention clock x%g)\n\n",
 		m.Scheme, m.Workload, m.SimSeconds*1000, wall.Seconds(), m.TimeScale)
+
+	if sp := m.Sampling; sp != nil {
+		fmt.Printf("Sampling (%d windows x %.0f us measured, %.1f%% detailed coverage, %.0f%% CI)\n",
+			sp.Windows, sp.WindowSeconds*1e6, 100*sp.Coverage, 100*sp.Confidence)
+		ci := func(name string, iv stats.Interval) {
+			fmt.Printf("  %-20s %8.4g  [%.4g, %.4g]\n", name, iv.Mean, iv.Lo, iv.Hi)
+		}
+		ci("IPC", sp.IPC)
+		ci("LLC MPKI", sp.LLCMPKI)
+		ci("wear rate", sp.WearTotalRate)
+		ci("lifetime years", sp.LifetimeYears)
+		ci("short-write frac", sp.ShortWriteFraction)
+		fmt.Printf("\n")
+	}
 
 	fmt.Printf("Performance\n")
 	fmt.Printf("  aggregate IPC        %8.3f  (per core:", m.IPC)

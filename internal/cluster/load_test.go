@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -15,7 +16,9 @@ import (
 	"time"
 
 	"rrmpcm/internal/cluster/artifact"
+	"rrmpcm/internal/engine"
 	"rrmpcm/internal/server"
+	"rrmpcm/internal/sim"
 )
 
 // loadN returns the submission count for the load harness. The in-tree
@@ -61,12 +64,23 @@ func TestClusterLoadHarness(t *testing.T) {
 
 	store := artifact.NewMem()
 	counter := newSimCounter()
+	// Full submissions run the instant counted fake; the one sampled
+	// submission at the end runs the real interval-sampling executor, so
+	// the harness also proves sampled results survive the fabric intact.
+	realSampledSim := func(counted engine.SimFunc) engine.SimFunc {
+		return func(ctx context.Context, cfg sim.Config) (sim.Metrics, error) {
+			if cfg.Sampling != nil {
+				return engine.RunSim(ctx, cfg)
+			}
+			return counted(ctx, cfg)
+		}
+	}
 	workers := make([]*testWorker, 4)
 	for i := range workers {
 		workers[i] = startWorkerOpt(t, fmt.Sprintf("w%d", i), server.Options{
 			Workers: 4, QueueSize: 256,
 			Cache: artifact.RunCache{S: store},
-			Sim:   counter.sim,
+			Sim:   realSampledSim(counter.sim),
 		})
 	}
 	coord, cts := startCoordinator(t, CoordinatorOptions{Artifacts: store})
@@ -204,7 +218,7 @@ func TestClusterLoadHarness(t *testing.T) {
 	solo := startWorkerOpt(t, "solo", server.Options{
 		Workers: 4, QueueSize: 256,
 		Cache: artifact.RunCache{S: artifact.NewMem()},
-		Sim:   soloCounter.sim,
+		Sim:   realSampledSim(soloCounter.sim),
 	})
 	for i := 0; i < n; i += step {
 		seed := uint64(i + 1)
@@ -223,5 +237,52 @@ func TestClusterLoadHarness(t *testing.T) {
 		if !bytes.Equal(cb, sb) {
 			t.Fatalf("seed %d: cluster metrics diverge from single-process run:\n%s\n%s", seed, cb, sb)
 		}
+	}
+
+	// One real sampled job through the same (post-kill) fabric: it must
+	// complete with a confidence-interval report, resubmission must be
+	// served from the shared artifact store without a second simulation,
+	// and the metrics must be byte-identical to a single-process sampled
+	// run — window forks merge by index, so parallelism inside the worker
+	// and the routing path outside it both leave no trace in the bytes.
+	sampledBody := `{"scheme":"rrm","workload":"GemsFDTD","quick":true,"seed":1,
+		"sampling":{"windows":4,"window":50000,"detail_warmup":25000}}`
+	scode, ssub, _ := postCluster(t, cts.URL, sampledBody)
+	if scode != http.StatusAccepted && scode != http.StatusOK {
+		t.Fatalf("sampled submit HTTP %d", scode)
+	}
+	if st := waitClusterDone(t, coord, cts.URL, ssub.ID); st.State != "done" {
+		t.Fatalf("sampled job state %q (%s)", st.State, st.Error)
+	}
+	_, sjr := clusterResult(t, cts.URL, ssub.ID)
+	if sjr.Metrics.Sampling == nil || sjr.Metrics.Sampling.Windows != 4 {
+		t.Fatalf("sampled cluster result has no sampling report: %+v", sjr.Metrics.Sampling)
+	}
+	var launchedBefore uint64
+	for _, w := range workers[:3] {
+		launchedBefore += w.srv.SimsExecuted()
+	}
+	rcode, rsub, _ := postCluster(t, cts.URL, sampledBody)
+	if rcode != http.StatusAccepted && rcode != http.StatusOK {
+		t.Fatalf("sampled resubmit HTTP %d", rcode)
+	}
+	waitClusterDone(t, coord, cts.URL, rsub.ID)
+	var launchedAfter uint64
+	for _, w := range workers[:3] {
+		launchedAfter += w.srv.SimsExecuted()
+	}
+	if launchedAfter != launchedBefore {
+		t.Fatalf("sampled resubmission re-simulated (launches %d -> %d)", launchedBefore, launchedAfter)
+	}
+	pcode, psub, _ := postCluster(t, solo.ts.URL, sampledBody)
+	if pcode != http.StatusAccepted && pcode != http.StatusOK {
+		t.Fatalf("solo sampled submit HTTP %d", pcode)
+	}
+	waitClusterDone(t, coord, solo.ts.URL, psub.ID)
+	_, soloJR := clusterResult(t, solo.ts.URL, psub.ID)
+	cb, _ := json.Marshal(sjr.Metrics)
+	sb, _ := json.Marshal(soloJR.Metrics)
+	if !bytes.Equal(cb, sb) {
+		t.Fatalf("sampled cluster metrics diverge from single-process sampled run:\n%s\n%s", cb, sb)
 	}
 }

@@ -152,6 +152,9 @@ type MultiModeRRM struct {
 	blockShift  uint
 	blocksPer   int
 	decayWrap   int
+	// decaySuspended gates decay during sampling skips (transient, not
+	// serialized); see RRM.decaySuspended.
+	decaySuspended bool
 	useClock    uint64
 
 	eq    *timing.EventQueue
@@ -404,8 +407,14 @@ func (m *MultiModeRRM) Start(eq *timing.EventQueue) {
 	}
 	var decay func(now timing.Time)
 	decay = func(now timing.Time) {
-		m.DecayTick(now)
+		if !m.decaySuspended {
+			m.DecayTick(now)
+		}
 		eq.Schedule(now+m.cfg.DecayInterval, decay)
 	}
 	eq.Schedule(eq.Now()+m.cfg.DecayInterval, decay)
 }
+
+// SuspendDecay pauses (or resumes) the periodic heat decay without
+// disturbing its schedule; see RRM.SuspendDecay.
+func (m *MultiModeRRM) SuspendDecay(v bool) { m.decaySuspended = v }

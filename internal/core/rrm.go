@@ -232,6 +232,10 @@ type RRM struct {
 	decayAt  timing.Time
 	decaySeq int64
 	decayFn  func(timing.Time) // bound once; re-schedules itself
+	// decaySuspended gates the tick body (not its schedule): set during
+	// sampling skips, when time passes but no traffic flows. Transient —
+	// never set while a snapshot is taken, so it is not serialized.
+	decaySuspended bool
 }
 
 // NewRRM builds the monitor. The issuer receives the selective refresh
@@ -541,12 +545,22 @@ func (r *RRM) Start(eq *timing.EventQueue) {
 	r.armDecay(eq.Now() + r.cfg.DecayInterval)
 }
 
+// SuspendDecay pauses (or resumes) the periodic heat decay without
+// disturbing its schedule. Decay models traffic recency, so a sampling
+// skip — which advances simulated time with the cores parked and no
+// traffic flowing — must not tick it, or the hot set would evaporate at
+// a rate the (paused) write stream can never sustain. Retention timers
+// are unaffected: they track real deadlines and keep firing.
+func (r *RRM) SuspendDecay(v bool) { r.decaySuspended = v }
+
 // armDecay schedules the periodic decay tick at the given time,
 // recording the event descriptor for snapshots.
 func (r *RRM) armDecay(at timing.Time) {
 	if r.decayFn == nil {
 		r.decayFn = func(now timing.Time) {
-			r.DecayTick(now)
+			if !r.decaySuspended {
+				r.DecayTick(now)
+			}
 			r.armDecay(now + r.cfg.DecayInterval)
 		}
 	}

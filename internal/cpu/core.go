@@ -202,6 +202,21 @@ func (c *Core) StopAt(t timing.Time) { c.stopAt = t }
 // full).
 func (c *Core) Throttle() { c.throttled = true }
 
+// EnsureRunning re-arms a core that parked at a stop horizon: the local
+// clock jumps forward to now (never backward) and a step is armed unless
+// one is already pending or the core is waiting on a completion callback
+// (which will arm it). Callers must first raise the horizon via StopAt,
+// or the armed step parks again immediately.
+func (c *Core) EnsureRunning(now timing.Time) {
+	if c.localTime < now {
+		c.localTime = now
+	}
+	if c.stepArmed || c.blocked() {
+		return
+	}
+	c.armStep(now)
+}
+
 // Resume is the backpressure release callback: the backend calls it when
 // a Throttle it issued to this core has cleared.
 func (c *Core) Resume(now timing.Time) {

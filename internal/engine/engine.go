@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rrmpcm/internal/sampling"
 	"rrmpcm/internal/sim"
 )
 
@@ -80,7 +81,12 @@ type Result struct {
 type SimFunc func(ctx context.Context, cfg sim.Config) (sim.Metrics, error)
 
 // RunSim is the production SimFunc: build the system, run it, collect.
+// Configs with a sampling spec dispatch to the interval-sampling
+// executor instead of a contiguous detailed run.
 func RunSim(ctx context.Context, cfg sim.Config) (sim.Metrics, error) {
+	if cfg.Sampling != nil {
+		return sampling.Run(ctx, cfg)
+	}
 	sys, err := sim.New(cfg)
 	if err != nil {
 		return sim.Metrics{}, err

@@ -228,6 +228,15 @@ func TestConfigHash(t *testing.T) {
 		"rrm-knob":   func(c *sim.Config) { c.Scheme = sim.RRMScheme(); c.Scheme.RRM.HotThreshold = 8 },
 		"ctrl":       func(c *sim.Config) { c.Ctrl.WritePausing = !c.Ctrl.WritePausing },
 		"core-mshrs": func(c *sim.Config) { c.CoreMSHRs = 99 },
+		"sampling": func(c *sim.Config) {
+			c.Sampling = &sim.SamplingSpec{Windows: 8, Window: 10, DetailWarmup: 5}
+		},
+		"sampling-budget": func(c *sim.Config) {
+			c.Sampling = &sim.SamplingSpec{Windows: 15, Window: 10, DetailWarmup: 5}
+		},
+		"sampling-stride": func(c *sim.Config) {
+			c.Sampling = &sim.SamplingSpec{Windows: 8, Window: 10, DetailWarmup: 5, FFStride: 16}
+		},
 	}
 	seen := map[string]string{base: "base"}
 	for name, mutate := range mutants {

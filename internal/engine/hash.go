@@ -49,6 +49,11 @@ type hashImage struct {
 	// reliability-free config keeps its pre-reliability hash (and its
 	// older cache entries stay valid).
 	Reliability *reliability.Config `json:",omitempty"`
+
+	// Sampling is present only for sampled runs (same omitempty pattern:
+	// full-run hashes — and their cache entries — are unchanged, and a
+	// sampled run can never alias the full run it approximates).
+	Sampling *sim.SamplingSpec `json:",omitempty"`
 }
 
 // schemeImage mirrors sim.Scheme with Custom flattened to its name.
@@ -91,6 +96,10 @@ func ConfigHash(cfg sim.Config) (string, error) {
 	if cfg.Reliability.Enabled {
 		rel := cfg.Reliability
 		img.Reliability = &rel
+	}
+	if cfg.Sampling != nil {
+		sp := *cfg.Sampling
+		img.Sampling = &sp
 	}
 	blob, err := json.Marshal(img)
 	if err != nil {

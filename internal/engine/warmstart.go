@@ -55,6 +55,13 @@ func WarmKey(cfg sim.Config) (string, bool, error) {
 	if cfg.Scheme.Kind == sim.SchemeCustom || cfg.Warmup <= 0 {
 		return "", false, nil
 	}
+	// Sampled runs are not warm-start eligible: the sampling executor
+	// does its own snapshotting and the warm-prefix sharing would buy
+	// nothing — so a sampled config is always WarmKey-distinct from the
+	// full run it approximates (it has no warm key at all).
+	if cfg.Sampling != nil {
+		return "", false, nil
+	}
 	// During warmup a core's local clock can lead the event clock by up
 	// to one scheduling quantum, and the stop horizon sits one Duration
 	// past the warmup boundary; two quanta of slack keep every eligible

@@ -44,6 +44,9 @@ func TestWarmKeyEligibility(t *testing.T) {
 		"custom-scheme": func(c *sim.Config) { c.Scheme.Kind = sim.SchemeCustom },
 		"zero-warmup":   func(c *sim.Config) { c.Warmup = 0 },
 		"tiny-duration": func(c *sim.Config) { c.Duration = 3 * timing.Microsecond },
+		"sampled": func(c *sim.Config) {
+			c.Sampling = &sim.SamplingSpec{Windows: 4, Window: 10 * timing.Microsecond}
+		},
 	}
 	for name, mut := range ineligible {
 		cfg := base

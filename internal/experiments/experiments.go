@@ -44,6 +44,7 @@ func All() []Experiment {
 		{"ablation-multimode", "A4: multi-mode RRM (3/5/7-SETs tiers)", AblationMultiMode},
 		{"ablation-decay", "A5: decay interval sensitivity", AblationDecay},
 		{"ablation-wearlevel", "A6: Start-Gap wear-leveling efficiency (Table V assumption)", AblationWearLevel},
+		{"sampling", "S1: interval sampling, error vs speed", ExperimentSampling},
 	}
 }
 

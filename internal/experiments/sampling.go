@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"rrmpcm/internal/sim"
+	"rrmpcm/internal/stats"
+	"rrmpcm/internal/timing"
+	"rrmpcm/internal/trace"
+)
+
+// ExperimentSampling (S1) is the error-vs-speed characterization of the
+// interval-sampling executor: one reference configuration simulated in
+// full, then sampled at increasing window budgets, with each budget's
+// confidence intervals checked against the full run's values. The table
+// is the practical dial for choosing a budget: coverage (and therefore
+// cost) grows down the rows while the intervals tighten around the full
+// answer. internal/sampling/validate_test.go enforces the containment
+// property across every golden config; this experiment shows it on the
+// pass's own windows.
+func ExperimentSampling(r *Runner) (string, error) {
+	w, err := trace.WorkloadByName("GemsFDTD")
+	if err != nil {
+		return "", err
+	}
+	scheme := sim.RRMScheme()
+
+	// Budgets scale with the pass duration so S1 keeps its shape under
+	// -quick: each window (and its equal pre-roll) is 1/80 of the
+	// duration, so coverage runs 10% -> 37.5% down the rows and the gaps
+	// stay long enough that sampling is actually sampling. The last
+	// budget adds stride thinning, the long-run speed knob.
+	type budget struct {
+		name    string
+		windows int
+		stride  int
+	}
+	budgets := []budget{
+		{"sampled n=4", 4, 1},
+		{"sampled n=8", 8, 1},
+		{"sampled n=15", 15, 1},
+		{"sampled n=8 stride=8", 8, 8},
+	}
+	duration := r.opt.SimConfig(scheme, w).Duration
+	winLen := duration / 80 / timing.Microsecond * timing.Microsecond
+
+	timed := func(spec RunSpec) (sim.Metrics, time.Duration, error) {
+		begin := time.Now()
+		ms, err := r.RunBatch([]RunSpec{spec})
+		if err != nil {
+			return sim.Metrics{}, 0, err
+		}
+		return ms[0], time.Since(begin), nil
+	}
+
+	full, fullWall, err := timed(RunSpec{Label: "s1-full", Scheme: scheme, Workload: w})
+	if err != nil {
+		return "", err
+	}
+
+	rows := [][]string{{"Run", "Coverage", "Wall s", "Speedup", "IPC (95% CI)", "dIPC", "Lifetime y", "Contains"}}
+	rows = append(rows, []string{
+		"full", "100%", fmt.Sprintf("%.1f", fullWall.Seconds()), "1.0x",
+		fmt.Sprintf("%.3f", full.IPC), "-", fmt.Sprintf("%.2f", full.LifetimeYears), "-",
+	})
+	for _, bg := range budgets {
+		bg := bg
+		spec := RunSpec{
+			Label: "s1-" + bg.name, Scheme: scheme, Workload: w,
+			Mutate: func(c *sim.Config) {
+				c.Sampling = &sim.SamplingSpec{
+					Windows:      bg.windows,
+					Window:       winLen,
+					DetailWarmup: winLen,
+					FFStride:     bg.stride,
+				}
+			},
+		}
+		m, wall, err := timed(spec)
+		if err != nil {
+			return "", err
+		}
+		sp := m.Sampling
+		if sp == nil {
+			return "", fmt.Errorf("experiments: sampled run %s returned no sampling report", bg.name)
+		}
+		speedup := "-"
+		if wall > 0 {
+			speedup = fmt.Sprintf("%.1fx", fullWall.Seconds()/wall.Seconds())
+		}
+		contains := "no"
+		if sp.IPC.Contains(full.IPC) {
+			contains = "yes"
+		}
+		rows = append(rows, []string{
+			bg.name,
+			fmt.Sprintf("%.0f%%", 100*sp.Coverage),
+			fmt.Sprintf("%.1f", wall.Seconds()),
+			speedup,
+			fmt.Sprintf("%.3f [%.3f, %.3f]", sp.IPC.Mean, sp.IPC.Lo, sp.IPC.Hi),
+			fmt.Sprintf("%+.1f%%", 100*(sp.IPC.Mean/full.IPC-1)),
+			fmt.Sprintf("%.2f", m.LifetimeYears),
+			contains,
+		})
+	}
+
+	var b strings.Builder
+	us := int64(winLen / timing.Microsecond)
+	fmt.Fprintf(&b, "Interval sampling error vs speed (%s / %s, %d us windows + %d us pre-roll)\n",
+		scheme.Name(), w.Name, us, us)
+	b.WriteString(stats.Table(rows))
+	b.WriteString("\nContains = full-run IPC inside the sampled run's own 95% interval.\n")
+	b.WriteString("Walls include engine scheduling; cache hits run in ~0 s and distort speedups.\n")
+	return b.String(), nil
+}

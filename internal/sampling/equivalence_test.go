@@ -1,0 +1,241 @@
+package sampling
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"rrmpcm/internal/sim"
+	"rrmpcm/internal/snapshot"
+	"rrmpcm/internal/timing"
+	"rrmpcm/internal/trace"
+)
+
+// fastConfig is a small warmed-system config for the property tests.
+func fastConfig(t *testing.T) sim.Config {
+	t.Helper()
+	w, err := trace.WorkloadByName("GemsFDTD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig(sim.RRMScheme(), w)
+	cfg.Duration = 600 * timing.Microsecond
+	cfg.Warmup = 200 * timing.Microsecond
+	cfg.TimeScale = 1000
+	cfg.Seed = 1
+	return cfg
+}
+
+func warmed(t *testing.T, cfg sim.Config) *sim.System {
+	t.Helper()
+	sys, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Warmup(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// checksum returns a canonical checksum of sys's state: the snapshot is
+// round-tripped through a restore into a fresh system first. Raw blobs
+// embed event-queue sequence numbers, which count every event the queue
+// ever scheduled — a donor that simulated its whole history and a fork
+// restored from its snapshot dispatch identically but carry different
+// raw seqs. Restore re-ranks them densely (timing.Rearm into a reset
+// queue), so the re-snapshot is a path-independent encoding of state.
+func checksum(t *testing.T, cfg sim.Config, sys *sim.System) uint64 {
+	t.Helper()
+	blob, err := sys.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := canon.Restore(blob); err != nil {
+		t.Fatal(err)
+	}
+	blob, err = canon.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snapshot.Checksum(blob)
+}
+
+// TestChunkedFastForwardEquivalence is the functional-equivalence
+// property the sampler's snapshot placement rests on: fast-forwarding in
+// chunks, snapshotting at the chunk boundaries, must land in bit-exactly
+// the state one continuous fast-forward reaches — otherwise window forks
+// would depend on how many windows precede them.
+func TestChunkedFastForwardEquivalence(t *testing.T) {
+	ctx := context.Background()
+	cfg := fastConfig(t)
+	span := 400 * timing.Microsecond
+
+	cont := warmed(t, cfg)
+	if err := cont.FastForward(ctx, span); err != nil {
+		t.Fatal(err)
+	}
+
+	chunked := warmed(t, cfg)
+	chunk := span / 4
+	for i := 0; i < 4; i++ {
+		if _, err := chunked.Snapshot(); err != nil {
+			t.Fatal(err)
+		}
+		if err := chunked.FastForward(ctx, chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if a, b := checksum(t, cfg, cont), checksum(t, cfg, chunked); a != b {
+		t.Fatalf("chunked fast-forward diverged from continuous: %#x != %#x", a, b)
+	}
+}
+
+// TestFastForwardRestoreEquivalence: restoring a mid-fast-forward
+// snapshot into a fresh system and continuing must be bit-identical to
+// the donor running straight through — snapshots taken during the
+// sampling walk are pure serialization, not approximation.
+func TestFastForwardRestoreEquivalence(t *testing.T) {
+	ctx := context.Background()
+	cfg := fastConfig(t)
+
+	donor := warmed(t, cfg)
+	if err := donor.FastForward(ctx, 200*timing.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := donor.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := donor.FastForward(ctx, 200*timing.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+
+	fork, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fork.Restore(blob); err != nil {
+		t.Fatal(err)
+	}
+	if err := fork.FastForward(ctx, 200*timing.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+
+	if a, b := checksum(t, cfg, donor), checksum(t, cfg, fork); a != b {
+		t.Fatalf("restored fork diverged from donor: %#x != %#x", a, b)
+	}
+}
+
+// TestSkipForwardEquivalence: the strided walk's skip phase must compose
+// (two half-skips equal one full skip) and round-trip through a
+// snapshot, including the parked-core state it leaves behind.
+func TestSkipForwardEquivalence(t *testing.T) {
+	ctx := context.Background()
+	cfg := fastConfig(t)
+	span := 300 * timing.Microsecond
+
+	one := warmed(t, cfg)
+	if err := one.SkipForward(ctx, span); err != nil {
+		t.Fatal(err)
+	}
+
+	two := warmed(t, cfg)
+	for i := 0; i < 2; i++ {
+		if err := two.SkipForward(ctx, span/2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a, b := checksum(t, cfg, one), checksum(t, cfg, two); a != b {
+		t.Fatalf("split skip diverged from single skip: %#x != %#x", a, b)
+	}
+
+	// Round-trip the parked state and re-warm both sides identically: a
+	// fork restored from a post-skip snapshot must rejoin the donor's
+	// trajectory once traffic resumes.
+	blob, err := one.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fork, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fork.Restore(blob); err != nil {
+		t.Fatal(err)
+	}
+	for _, sys := range []*sim.System{one, fork} {
+		if err := sys.FastForward(ctx, 100*timing.Microsecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a, b := checksum(t, cfg, one), checksum(t, cfg, fork); a != b {
+		t.Fatalf("post-skip fork diverged after re-warming: %#x != %#x", a, b)
+	}
+}
+
+// TestSampledRunDeterministicAcrossParallelism: window results merge by
+// index, so the full metrics document — means, intervals, every counter
+// — must be byte-identical at any parallelism level.
+func TestSampledRunDeterministicAcrossParallelism(t *testing.T) {
+	cfg := fastConfig(t)
+	cfg.Sampling = &sim.SamplingSpec{
+		Windows:      4,
+		Window:       25 * timing.Microsecond,
+		DetailWarmup: 10 * timing.Microsecond,
+	}
+	run := func(parallel int) []byte {
+		m, err := RunParallel(context.Background(), cfg, parallel)
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		blob, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+	serial := run(1)
+	for _, p := range []int{2, 4, 8} {
+		if got := run(p); !bytes.Equal(serial, got) {
+			t.Fatalf("sampled metrics differ between parallel=1 and parallel=%d", p)
+		}
+	}
+}
+
+// TestSampledRunStrided: a strided sampled run must complete, report
+// every interval, and remain deterministic.
+func TestSampledRunStrided(t *testing.T) {
+	cfg := fastConfig(t)
+	cfg.Sampling = &sim.SamplingSpec{
+		Windows:      4,
+		Window:       25 * timing.Microsecond,
+		DetailWarmup: 10 * timing.Microsecond,
+		FFStride:     4,
+	}
+	a, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Sampling == nil {
+		t.Fatal("strided run has no sampling report")
+	}
+	if a.Sampling.Coverage <= 0 {
+		t.Error("strided run reports zero coverage")
+	}
+	b, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, _ := json.Marshal(a)
+	bb, _ := json.Marshal(b)
+	if !bytes.Equal(ab, bb) {
+		t.Fatal("strided sampled run is nondeterministic")
+	}
+}

@@ -1,0 +1,169 @@
+package sampling
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rrmpcm/internal/pcm"
+	"rrmpcm/internal/sim"
+	"rrmpcm/internal/timing"
+	"rrmpcm/internal/trace"
+)
+
+// goldenCase pairs a golden fixture in internal/sim/testdata/golden with
+// the frozen configuration that produced it (mirrored from
+// sim.goldenConfig / sim.reliabilityGoldenConfig, which are test-local).
+type goldenCase struct {
+	name     string
+	scheme   sim.Scheme
+	workload string
+	rel      bool
+}
+
+// goldenCases lists every golden fixture: the seven quick-run goldens
+// plus the three reliability variants.
+func goldenCases() []goldenCase {
+	return []goldenCase{
+		{"static-3-GemsFDTD", sim.StaticScheme(pcm.Mode3SETs), "GemsFDTD", false},
+		{"static-4-GemsFDTD", sim.StaticScheme(pcm.Mode4SETs), "GemsFDTD", false},
+		{"static-5-GemsFDTD", sim.StaticScheme(pcm.Mode5SETs), "GemsFDTD", false},
+		{"static-6-GemsFDTD", sim.StaticScheme(pcm.Mode6SETs), "GemsFDTD", false},
+		{"static-7-GemsFDTD", sim.StaticScheme(pcm.Mode7SETs), "GemsFDTD", false},
+		{"rrm-GemsFDTD", sim.RRMScheme(), "GemsFDTD", false},
+		{"rrm-mcf", sim.RRMScheme(), "mcf", false},
+		{"static-3-GemsFDTD-rel", sim.StaticScheme(pcm.Mode3SETs), "GemsFDTD", true},
+		{"static-7-GemsFDTD-rel", sim.StaticScheme(pcm.Mode7SETs), "GemsFDTD", true},
+		{"rrm-GemsFDTD-rel", sim.RRMScheme(), "GemsFDTD", true},
+	}
+}
+
+// goldenConfig rebuilds the frozen config of a golden fixture. It must
+// stay in lockstep with the sim package's golden test configs.
+func goldenConfig(tc goldenCase) (sim.Config, error) {
+	w, err := trace.WorkloadByName(tc.workload)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	cfg := sim.DefaultConfig(tc.scheme, w)
+	cfg.Warmup = 500 * timing.Microsecond
+	cfg.Seed = 1
+	if tc.rel {
+		cfg.Duration = 2500 * timing.Microsecond
+		cfg.TimeScale = 6000
+		cfg.Reliability.Enabled = true
+	} else {
+		cfg.Duration = 1500 * timing.Microsecond
+		cfg.TimeScale = 1000
+	}
+	return cfg, nil
+}
+
+// loadGolden reads a golden fixture's full-run metrics.
+func loadGolden(t *testing.T, name string) sim.Metrics {
+	t.Helper()
+	path := filepath.Join("..", "sim", "testdata", "golden", name+".json")
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden fixture: %v", err)
+	}
+	var m sim.Metrics
+	if err := json.Unmarshal(blob, &m); err != nil {
+		t.Fatalf("decoding golden fixture %s: %v", name, err)
+	}
+	return m
+}
+
+// budgets are the three error-vs-speed points of the validation table:
+// same window and pre-roll, growing window count (detailed coverage 0.20,
+// 0.40 and 0.75 of the 1500us golden duration).
+func budgets() []sim.SamplingSpec {
+	return []sim.SamplingSpec{
+		{Windows: 4, Window: 50 * timing.Microsecond, DetailWarmup: 25 * timing.Microsecond},
+		{Windows: 8, Window: 50 * timing.Microsecond, DetailWarmup: 25 * timing.Microsecond},
+		{Windows: 15, Window: 50 * timing.Microsecond, DetailWarmup: 25 * timing.Microsecond},
+	}
+}
+
+// relWidth is an interval's width relative to its mean magnitude; the
+// statistical size of the error bar.
+func relWidth(iv interface {
+	Width() float64
+}, mean float64) float64 {
+	if mean == 0 {
+		return iv.Width()
+	}
+	w := iv.Width()
+	if mean < 0 {
+		mean = -mean
+	}
+	return w / mean
+}
+
+// TestSampledWithinConfidenceIntervals is the statistical validation
+// harness of the sampling executor: for every golden fixture, the
+// sampled estimates of IPC, lifetime and the write-mode mix must land
+// inside their own reported 95% confidence intervals around the pinned
+// full-run values, at each of the three window budgets. A sampled run
+// whose interval excludes the truth is a confidently-wrong estimator —
+// the one failure mode the report must never exhibit on the regimes the
+// goldens pin.
+func TestSampledWithinConfidenceIntervals(t *testing.T) {
+	for _, tc := range goldenCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			full := loadGolden(t, tc.name)
+			cfg, err := goldenConfig(tc)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Relative wear-interval widths per budget, for the
+			// shrinking-error assertion below.
+			widths := make([]float64, 0, 3)
+			for _, sp := range budgets() {
+				sp := sp
+				scfg := cfg
+				scfg.Sampling = &sp
+				m, err := Run(context.Background(), scfg)
+				if err != nil {
+					t.Fatalf("windows=%d: %v", sp.Windows, err)
+				}
+				r := m.Sampling
+				if r == nil {
+					t.Fatalf("windows=%d: sampled run has no sampling report", sp.Windows)
+				}
+				if !r.IPC.Contains(full.IPC) {
+					t.Errorf("windows=%d: full-run IPC %.4f outside sampled interval [%.4f, %.4f]",
+						sp.Windows, full.IPC, r.IPC.Lo, r.IPC.Hi)
+				}
+				if !r.LifetimeYears.Contains(full.LifetimeYears) {
+					t.Errorf("windows=%d: full-run lifetime %.4f outside sampled interval [%.4f, %.4f]",
+						sp.Windows, full.LifetimeYears, r.LifetimeYears.Lo, r.LifetimeYears.Hi)
+				}
+				if !r.ShortWriteFraction.Contains(full.ShortWriteFraction) {
+					t.Errorf("windows=%d: full-run short-write fraction %.4f outside sampled interval [%.4f, %.4f]",
+						sp.Windows, full.ShortWriteFraction, r.ShortWriteFraction.Lo, r.ShortWriteFraction.Hi)
+				}
+				widths = append(widths, relWidth(r.WearTotalRate, r.WearTotalRate.Mean))
+				t.Logf("windows=%2d: IPC=%.4f [%.4f, %.4f] (full %.4f) lifetime=%.3f [%.3f, %.3f] (full %.3f) wearWidth=%.3f",
+					sp.Windows, m.IPC, r.IPC.Lo, r.IPC.Hi, full.IPC,
+					m.LifetimeYears, r.LifetimeYears.Lo, r.LifetimeYears.Hi, full.LifetimeYears,
+					widths[len(widths)-1])
+			}
+
+			// More windows must buy smaller error bars. The wear interval
+			// carries the comparison because its width is variance-
+			// dominated at every budget; IPC intervals bottom out at the
+			// bias floor and stop shrinking.
+			for i := 1; i < len(widths); i++ {
+				if widths[i] >= widths[0] {
+					t.Errorf("wear interval width did not shrink: %.4f at %d windows vs %.4f at %d windows",
+						widths[i], budgets()[i].Windows, widths[0], budgets()[0].Windows)
+				}
+			}
+		})
+	}
+}

@@ -283,6 +283,12 @@ type SubmitRequest struct {
 	// attribution in the result's metrics. Mutually exclusive with
 	// Workload and Config.
 	Tenants []TenantStream `json:"tenants,omitempty"`
+	// Sampling, when set, runs the submission as a SMARTS-style sampled
+	// simulation (see sim.SamplingSpec); the result's metrics carry
+	// confidence intervals. A sampled submission hashes to a different
+	// job key than the full run of the same config, so the two never
+	// collide in the run cache or the cluster's dedup index.
+	Sampling *sim.SamplingSpec `json:"sampling,omitempty"`
 }
 
 // JobStatus is the wire representation of one job.
@@ -334,6 +340,15 @@ func BuildJobIn(traceDir string, req SubmitRequest) (engine.Job, error) {
 	cfg, err := buildConfig(traceDir, req)
 	if err != nil {
 		return engine.Job{}, err
+	}
+	if req.Sampling != nil {
+		if cfg.Sampling != nil {
+			return engine.Job{}, fmt.Errorf("sampling is specified both at the top level and inside config")
+		}
+		cfg.Sampling = req.Sampling
+		if err := cfg.Validate(); err != nil {
+			return engine.Job{}, err
+		}
 	}
 	return experiments.NewJob(cfg, req.Label)
 }

@@ -129,6 +129,14 @@ type Config struct {
 	// reporting per-run totals (the paper runs 5 s); metrics scale
 	// rates by it. Zero means "report rates only, totals over 5 s".
 	EquivalentDuration timing.Time
+
+	// Sampling, when non-nil, runs the measurement as SMARTS-style
+	// interval sampling (internal/sampling) instead of one contiguous
+	// detailed window: Duration is covered by Sampling.Windows detailed
+	// windows with functional fast-forward between them, and the
+	// metrics carry confidence intervals (Metrics.Sampling). Nil — the
+	// default — is a full detailed run.
+	Sampling *SamplingSpec
 }
 
 // DefaultConfig returns the Tables IV/V system with the given scheme and
@@ -185,6 +193,14 @@ func (c Config) Validate() error {
 	}
 	if c.HitStallFactor < 0 || c.HitStallFactor > 1 {
 		return fmt.Errorf("sim: HitStallFactor %v out of [0,1]", c.HitStallFactor)
+	}
+	if c.Sampling != nil {
+		if err := c.Sampling.Validate(c.Duration); err != nil {
+			return err
+		}
+		if c.Scheme.Kind == SchemeCustom {
+			return fmt.Errorf("sim: custom schemes cannot be sampled (snapshots cannot carry policy state)")
+		}
 	}
 	if err := c.Reliability.Validate(); err != nil {
 		return err

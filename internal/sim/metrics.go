@@ -79,6 +79,11 @@ type Metrics struct {
 	// — omitted — unless the workload names tenants, so single-tenant
 	// metrics documents and goldens are unchanged).
 	Tenants []TenantMetrics `json:"tenants,omitempty"`
+
+	// Sampling is the confidence-interval summary of a sampled run (nil
+	// — omitted — for full runs, so their metrics documents and goldens
+	// are unchanged).
+	Sampling *SamplingReport `json:"sampling,omitempty"`
 }
 
 // TenantMetrics is one tenant's slice of a multi-tenant run: the
@@ -117,15 +122,16 @@ type RetentionDetail struct {
 	First            string `json:"first,omitempty"`
 }
 
-// collect subtracts the warmup baseline and converts to real rates.
-func (s *System) collect() Metrics {
+// collect subtracts the measurement baseline and converts to real rates
+// over a window of the given length (cfg.Duration for a full run, the
+// sampling window length for a sampled measurement window).
+func (s *System) collect(window timing.Time) Metrics {
 	sn := &s.base
 	m := Metrics{
 		Scheme:    s.cfg.Scheme.Name(),
 		Workload:  s.cfg.Workload.Name,
 		TimeScale: s.cfg.TimeScale,
 	}
-	window := s.cfg.Duration
 	m.SimSeconds = window.Seconds()
 
 	// Performance.

@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"testing"
+
+	"rrmpcm/internal/timing"
+)
+
+// FuzzSamplingConfig drives SamplingSpec.Validate with arbitrary specs
+// and checks the contract the sampler relies on: any spec Validate
+// accepts yields a well-formed sampling plan — enough windows for a
+// variance, positive measured spans that fit their segment, an effective
+// stride, and a detailed-coverage fraction in (0, 1].
+func FuzzSamplingConfig(f *testing.F) {
+	f.Add(8, int64(50_000), int64(25_000), 0, int64(1_500_000))
+	f.Add(2, int64(1), int64(0), 1, int64(2))
+	f.Add(15, int64(50_000), int64(25_000), 16, int64(20_000_000))
+	f.Add(0, int64(0), int64(-1), -1, int64(0))
+	f.Fuzz(func(t *testing.T, windows int, window, warmup int64, stride int, duration int64) {
+		sp := SamplingSpec{
+			Windows:      windows,
+			Window:       timing.Time(window),
+			DetailWarmup: timing.Time(warmup),
+			FFStride:     stride,
+		}
+		d := timing.Time(duration)
+		if err := sp.Validate(d); err != nil {
+			return
+		}
+		if sp.Windows < 2 {
+			t.Fatalf("valid spec with %d windows (no variance exists)", sp.Windows)
+		}
+		if sp.Window <= 0 {
+			t.Fatalf("valid spec with non-positive window %v", sp.Window)
+		}
+		if sp.DetailWarmup < 0 {
+			t.Fatalf("valid spec with negative detail warmup %v", sp.DetailWarmup)
+		}
+		if seg := d / timing.Time(sp.Windows); sp.DetailWarmup+sp.Window > seg {
+			t.Fatalf("valid spec overflows its segment: %v + %v > %v",
+				sp.DetailWarmup, sp.Window, seg)
+		}
+		if s := sp.Stride(); s < 1 {
+			t.Fatalf("valid spec with effective stride %d", s)
+		}
+		if cov := sp.Coverage(d); cov <= 0 || cov > 1+1e-9 {
+			t.Fatalf("valid spec with coverage %v outside (0, 1]", cov)
+		}
+	})
+}

@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"context"
+	"testing"
+
+	"rrmpcm/internal/timing"
+	"rrmpcm/internal/trace"
+)
+
+// TestSamplingPhaseErrors locks the System phase machine against misuse
+// of the sampling entry points: each op is legal in exactly one phase
+// (warmed) and must fail cleanly — not corrupt state or panic — in the
+// others, including argument misuse within the legal phase.
+func TestSamplingPhaseErrors(t *testing.T) {
+	w, err := trace.WorkloadByName("GemsFDTD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := goldenConfig(RRMScheme(), w)
+	cfg.Duration = 300 * timing.Microsecond
+	cfg.Warmup = 100 * timing.Microsecond
+	ctx := context.Background()
+
+	span := 10 * timing.Microsecond
+	ops := []struct {
+		name string
+		call func(s *System) error
+	}{
+		{"FastForward", func(s *System) error { return s.FastForward(ctx, span) }},
+		{"SkipForward", func(s *System) error { return s.SkipForward(ctx, span) }},
+		{"Advance", func(s *System) error { return s.Advance(ctx, span) }},
+		{"MeasureWindow", func(s *System) error {
+			_, err := s.MeasureWindow(ctx, span, span)
+			return err
+		}},
+	}
+
+	// Phase: new (before Warmup) — every sampling op must refuse.
+	fresh, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops {
+		if err := op.call(fresh); err == nil {
+			t.Errorf("%s on a new system succeeded", op.name)
+		}
+	}
+
+	// Phase: warmed — bad arguments must refuse, zero spans are no-ops,
+	// and the no-ops must not consume the system.
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Warmup(ctx); err != nil {
+		t.Fatal(err)
+	}
+	argCases := []struct {
+		name    string
+		call    func() error
+		wantErr bool
+	}{
+		{"FastForward negative", func() error { return sys.FastForward(ctx, -span) }, true},
+		{"SkipForward negative", func() error { return sys.SkipForward(ctx, -span) }, true},
+		{"Advance negative", func() error { return sys.Advance(ctx, -span) }, true},
+		{"MeasureWindow negative preroll", func() error {
+			_, err := sys.MeasureWindow(ctx, -span, span)
+			return err
+		}, true},
+		{"MeasureWindow zero window", func() error {
+			_, err := sys.MeasureWindow(ctx, span, 0)
+			return err
+		}, true},
+		{"FastForward zero", func() error { return sys.FastForward(ctx, 0) }, false},
+		{"SkipForward zero", func() error { return sys.SkipForward(ctx, 0) }, false},
+		{"Advance zero", func() error { return sys.Advance(ctx, 0) }, false},
+	}
+	for _, tc := range argCases {
+		if err := tc.call(); (err != nil) != tc.wantErr {
+			t.Errorf("%s: err=%v, wantErr=%v", tc.name, err, tc.wantErr)
+		}
+	}
+
+	// The argument misuse above must have left the system warmed and
+	// usable: a real fast-forward plus window measurement still works.
+	if err := sys.FastForward(ctx, span); err != nil {
+		t.Fatalf("FastForward after argument misuse: %v", err)
+	}
+	if _, err := sys.MeasureWindow(ctx, span, span); err != nil {
+		t.Fatalf("MeasureWindow after argument misuse: %v", err)
+	}
+
+	// Phase: measured — MeasureWindow consumed the system; every
+	// sampling op must now refuse.
+	for _, op := range ops {
+		if err := op.call(sys); err == nil {
+			t.Errorf("%s on a measured system succeeded", op.name)
+		}
+	}
+
+	// Restore is only legal into a new system, not one MeasureWindow has
+	// consumed — and not a warmed one (covered by TestSnapshotLifecycle).
+	donor, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := donor.Warmup(ctx); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := donor.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Restore(blob); err == nil {
+		t.Error("Restore into a measured system succeeded")
+	}
+}

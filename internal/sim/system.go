@@ -40,6 +40,16 @@ type System struct {
 	cfg   Config
 	phase runPhase
 
+	// functional is true while FastForward runs the machine in
+	// functional-only mode: the backend bypasses the memory controller
+	// (flat read latency, instant writes/refreshes) while all
+	// architectural state keeps advancing.
+	functional bool
+	// ffInsts/ffSpan record the most recent FastForward's instruction
+	// count and span, feeding the sampler's rate-matching feedback loop.
+	ffInsts uint64
+	ffSpan  timing.Time
+
 	eq      *timing.EventQueue
 	amap    *pcm.AddressMap
 	wear    *pcm.WearTracker
@@ -247,7 +257,13 @@ func (s *System) Measure(ctx context.Context) (Metrics, error) {
 		c.StopAt(end)
 	}
 	s.captureBaseline()
+	return s.finishMeasure(ctx, end, s.cfg.Duration)
+}
 
+// finishMeasure runs the event queue to end, drains the memory system
+// and collects metrics over a measurement window of the given length
+// (cfg.Duration for Measure, the sampling window for MeasureWindow).
+func (s *System) finishMeasure(ctx context.Context, end timing.Time, window timing.Time) (Metrics, error) {
 	if err := s.runUntil(ctx, end); err != nil {
 		return Metrics{}, err
 	}
@@ -279,7 +295,7 @@ func (s *System) Measure(ctx context.Context) (Metrics, error) {
 		s.rel.Finish(end)
 	}
 	s.phase = phaseDone
-	return s.collect(), nil
+	return s.collect(window), nil
 }
 
 // initPatrol builds the periodic background patrol-scrub callback: every

@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+)
+
+// Interval is a mean with a two-sided confidence interval [Lo, Hi].
+type Interval struct {
+	Mean float64 `json:"mean"`
+	Lo   float64 `json:"lo"`
+	Hi   float64 `json:"hi"`
+}
+
+// Width returns the interval's full width.
+func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+
+// Contains reports whether v lies inside the interval (inclusive).
+func (iv Interval) Contains(v float64) bool { return v >= iv.Lo && v <= iv.Hi }
+
+// tCrit95 holds the two-sided 95% Student-t critical values for
+// 1..30 degrees of freedom; beyond 30 the normal quantile 1.96 is the
+// standard asymptotic approximation (within 2% at df=30 already).
+var tCrit95 = [31]float64{
+	0, // df 0 unused
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// TCritical95 returns the two-sided 95% Student-t critical value for the
+// given degrees of freedom (1.96 asymptote past df 30, +Inf for df < 1,
+// where no interval exists).
+func TCritical95(df int) float64 {
+	if df < 1 {
+		return math.Inf(1)
+	}
+	if df <= 30 {
+		return tCrit95[df]
+	}
+	return 1.96
+}
+
+// MeanCI95 returns the sample mean of samples with a two-sided 95%
+// Student-t confidence interval. With fewer than two samples the
+// interval is unbounded (the variance is undefined).
+func MeanCI95(samples []float64) Interval {
+	n := len(samples)
+	if n == 0 {
+		return Interval{Lo: math.Inf(-1), Hi: math.Inf(1)}
+	}
+	var sum float64
+	for _, v := range samples {
+		sum += v
+	}
+	mean := sum / float64(n)
+	if n == 1 {
+		return Interval{Mean: mean, Lo: math.Inf(-1), Hi: math.Inf(1)}
+	}
+	var ss float64
+	for _, v := range samples {
+		d := v - mean
+		ss += d * d
+	}
+	sem := math.Sqrt(ss/float64(n-1)) / math.Sqrt(float64(n))
+	half := TCritical95(n-1) * sem
+	return Interval{Mean: mean, Lo: mean - half, Hi: mean + half}
+}
+
+// WidenRelative grows the interval's half-width to at least frac*|Mean|,
+// keeping it centred. Sampled simulation uses it as a model-bias floor:
+// the Student-t interval only captures between-window variance, not the
+// small systematic bias functional fast-forward introduces, so a purely
+// statistical interval on a near-stationary workload can be narrower
+// than the bias it ignores.
+func (iv Interval) WidenRelative(frac float64) Interval {
+	floor := frac * math.Abs(iv.Mean)
+	if half := (iv.Hi - iv.Lo) / 2; half >= floor {
+		return iv
+	}
+	return Interval{Mean: iv.Mean, Lo: iv.Mean - floor, Hi: iv.Mean + floor}
+}
+
+// MarshalJSON encodes non-finite fields as null: an interval from a
+// single sample, or a zero-rate bound mapped through a reciprocal (wear
+// floor 0 → lifetime upper bound ∞), is legitimately unbounded, and JSON
+// has no infinity. UnmarshalJSON maps null back to the matching extreme
+// (Lo → -Inf, Hi → +Inf, Mean → NaN), so the round trip preserves
+// unboundedness.
+func (iv Interval) MarshalJSON() ([]byte, error) {
+	fin := func(v float64) *float64 {
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			return nil
+		}
+		return &v
+	}
+	return json.Marshal(intervalJSON{Mean: fin(iv.Mean), Lo: fin(iv.Lo), Hi: fin(iv.Hi)})
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON (see there).
+func (iv *Interval) UnmarshalJSON(b []byte) error {
+	var aux intervalJSON
+	if err := json.Unmarshal(b, &aux); err != nil {
+		return err
+	}
+	pick := func(p *float64, missing float64) float64 {
+		if p == nil {
+			return missing
+		}
+		return *p
+	}
+	iv.Mean = pick(aux.Mean, math.NaN())
+	iv.Lo = pick(aux.Lo, math.Inf(-1))
+	iv.Hi = pick(aux.Hi, math.Inf(1))
+	return nil
+}
+
+type intervalJSON struct {
+	Mean *float64 `json:"mean"`
+	Lo   *float64 `json:"lo"`
+	Hi   *float64 `json:"hi"`
+}
+
+// WidenAbsolute grows the interval's half-width to at least half, keeping
+// it centred. The companion of WidenRelative for metrics whose mean can
+// sit near zero (fractions, rare-event rates), where any relative floor
+// collapses with the mean and the interval needs a resolution limit
+// stated in the metric's own units.
+func (iv Interval) WidenAbsolute(half float64) Interval {
+	if h := (iv.Hi - iv.Lo) / 2; h >= half {
+		return iv
+	}
+	return Interval{Mean: iv.Mean, Lo: iv.Mean - half, Hi: iv.Mean + half}
+}

@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestTCritical95(t *testing.T) {
+	cases := []struct {
+		df   int
+		want float64
+	}{
+		{0, math.Inf(1)},
+		{-3, math.Inf(1)},
+		{1, 12.706},
+		{5, 2.571},
+		{30, 2.042},
+		{31, 1.96},
+		{10_000, 1.96},
+	}
+	for _, tc := range cases {
+		if got := TCritical95(tc.df); got != tc.want {
+			t.Errorf("TCritical95(%d) = %v, want %v", tc.df, got, tc.want)
+		}
+	}
+}
+
+func TestMeanCI95(t *testing.T) {
+	// Degenerate sizes: no variance exists, interval is unbounded.
+	if iv := MeanCI95(nil); !math.IsInf(iv.Lo, -1) || !math.IsInf(iv.Hi, 1) {
+		t.Errorf("empty interval not unbounded: %+v", iv)
+	}
+	iv := MeanCI95([]float64{3.5})
+	if iv.Mean != 3.5 || !math.IsInf(iv.Lo, -1) || !math.IsInf(iv.Hi, 1) {
+		t.Errorf("single-sample interval: %+v", iv)
+	}
+
+	// Hand-checked: n=4, mean 5, sd 2/sqrt(3)*... use {2,4,6,8}:
+	// mean 5, sample sd sqrt(20/3), sem sd/2, half = 3.182*sem.
+	iv = MeanCI95([]float64{2, 4, 6, 8})
+	if iv.Mean != 5 {
+		t.Errorf("mean = %v, want 5", iv.Mean)
+	}
+	wantHalf := 3.182 * math.Sqrt(20.0/3) / 2
+	if half := (iv.Hi - iv.Lo) / 2; math.Abs(half-wantHalf) > 1e-9 {
+		t.Errorf("half-width = %v, want %v", half, wantHalf)
+	}
+	if !iv.Contains(5) || iv.Contains(iv.Hi+1) {
+		t.Error("Contains misbehaves on its own bounds")
+	}
+
+	// Zero variance collapses to a point.
+	iv = MeanCI95([]float64{7, 7, 7})
+	if iv.Lo != 7 || iv.Hi != 7 || iv.Width() != 0 {
+		t.Errorf("constant samples: %+v", iv)
+	}
+}
+
+func TestWiden(t *testing.T) {
+	iv := Interval{Mean: 10, Lo: 9.9, Hi: 10.1}
+	w := iv.WidenRelative(0.05) // floor half-width 0.5 > current 0.1
+	if w.Lo != 9.5 || w.Hi != 10.5 {
+		t.Errorf("WidenRelative floor not applied: %+v", w)
+	}
+	if v := w.WidenRelative(0.01); v != w {
+		t.Errorf("WidenRelative shrank a wider interval: %+v", v)
+	}
+	a := iv.WidenAbsolute(0.3)
+	if a.Lo != 9.7 || a.Hi != 10.3 {
+		t.Errorf("WidenAbsolute floor not applied: %+v", a)
+	}
+	if v := a.WidenAbsolute(0.1); v != a {
+		t.Errorf("WidenAbsolute shrank a wider interval: %+v", v)
+	}
+	// A relative floor on a zero mean is no floor at all — the absolute
+	// one still bites.
+	z := Interval{Mean: 0, Lo: 0, Hi: 0}
+	if v := z.WidenRelative(0.5); v.Width() != 0 {
+		t.Errorf("relative floor widened a zero mean: %+v", v)
+	}
+	if v := z.WidenAbsolute(0.02); v.Lo != -0.02 || v.Hi != 0.02 {
+		t.Errorf("absolute floor on zero mean: %+v", v)
+	}
+}
+
+func TestIntervalJSON(t *testing.T) {
+	// Finite intervals round-trip exactly.
+	iv := Interval{Mean: 1.5, Lo: 1, Hi: 2}
+	blob, err := json.Marshal(iv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Interval
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != iv {
+		t.Errorf("finite round trip: %+v != %+v", back, iv)
+	}
+
+	// Unbounded ends marshal (as null) and round-trip to infinities.
+	iv = Interval{Mean: 3, Lo: math.Inf(-1), Hi: math.Inf(1)}
+	blob, err = json.Marshal(iv)
+	if err != nil {
+		t.Fatalf("unbounded interval failed to marshal: %v", err)
+	}
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Mean != 3 || !math.IsInf(back.Lo, -1) || !math.IsInf(back.Hi, 1) {
+		t.Errorf("unbounded round trip: %+v", back)
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"rrmpcm/internal/memctrl"
 	"rrmpcm/internal/pcm"
 	"rrmpcm/internal/reliability"
+	"rrmpcm/internal/sampling"
 	"rrmpcm/internal/sim"
 	"rrmpcm/internal/stats"
 	"rrmpcm/internal/timing"
@@ -224,6 +225,24 @@ func RunContext(ctx context.Context, cfg Config) (Metrics, error) {
 // (hex SHA-256 of its canonical serialized image) — the key the
 // experiment engine's disk-backed run cache files results under.
 func ConfigHash(cfg Config) (string, error) { return engine.ConfigHash(cfg) }
+
+// SamplingSpec configures SMARTS-style interval sampling of a run
+// (Config.Sampling): the measured duration becomes alternating
+// functional fast-forward and detailed measurement windows, and the
+// result's Metrics carry confidence intervals. SamplingReport is that
+// interval summary (Metrics.Sampling, non-nil only for sampled runs).
+type (
+	SamplingSpec   = sim.SamplingSpec
+	SamplingReport = sim.SamplingReport
+)
+
+// RunSampled executes cfg as an interval-sampled run (cfg.Sampling must
+// be set): one serial warmup-and-snapshot pass, then the detailed
+// windows fork and measure in parallel across GOMAXPROCS goroutines.
+// Results are byte-identical at any parallelism level.
+func RunSampled(ctx context.Context, cfg Config) (Metrics, error) {
+	return sampling.Run(ctx, cfg)
+}
 
 // Geomean returns the geometric mean of positive values (the paper's
 // cross-workload summary statistic).

@@ -1,6 +1,6 @@
 #!/usr/bin/env sh
 # bench_check.sh — the CI perf gate: re-run the tracked hot-path
-# benchmarks and compare them against the committed BENCH_7.json. A
+# benchmarks and compare them against the committed BENCH_8.json. A
 # benchmark fails the gate when its ns/op regresses by more than 10%
 # (absorbing ordinary machine noise) or its allocs/op regresses at all
 # (allocation counts are deterministic, so any increase is a real
@@ -12,7 +12,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-REF=${1:-BENCH_7.json}
+REF=${1:-BENCH_8.json}
 BENCH='^(BenchmarkTraceGenerator|BenchmarkCacheHierarchyAccess|BenchmarkMemoryController|BenchmarkFullSystemSimulation)$'
 
 if [ ! -f "$REF" ]; then

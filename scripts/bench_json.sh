@@ -1,22 +1,25 @@
 #!/usr/bin/env sh
 # bench_json.sh — run the simulator hot-path benchmarks and emit a
-# machine-readable JSON report (default BENCH_7.json) with ns/op, B/op
+# machine-readable JSON report (default BENCH_8.json) with ns/op, B/op
 # and allocs/op per benchmark, the recorded pre-optimization baseline
 # from scripts/bench_baseline_3.json (where one exists), and the
-# relative improvement. The cold/warm sweep pair at the end measures the
-# warm-start engine: WarmStartSweep forks three of its four runs from a
-# shared warmup snapshot instead of re-simulating the prefix. The trace
-# trio (Generator / GeneratorPhases+Burst / Replay) compares stationary
-# generation, non-stationary modulation, and trace-file decode.
+# relative improvement. The cold/warm sweep pair measures the warm-start
+# engine: WarmStartSweep forks three of its four runs from a shared
+# warmup snapshot instead of re-simulating the prefix. The trace trio
+# (Generator / GeneratorPhases+Burst / Replay) compares stationary
+# generation, non-stationary modulation, and trace-file decode. The
+# full/sampled pair at the end runs one steady-state configuration
+# cycle-accurately and through the interval-sampling executor; the
+# ns/op ratio is the sampling speedup (>=10x at this configuration).
 #
 # Usage: scripts/bench_json.sh [output.json]
 # Env:   BENCHTIME overrides go test -benchtime (default 1s).
 set -eu
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_7.json}
+OUT=${1:-BENCH_8.json}
 BASELINE=scripts/bench_baseline_3.json
-BENCH='^(BenchmarkTraceGenerator|BenchmarkTraceGeneratorPhases|BenchmarkTraceGeneratorBurst|BenchmarkTraceReplay|BenchmarkCacheHierarchyAccess|BenchmarkMemoryController|BenchmarkFullSystemSimulation|BenchmarkReliabilitySimulation|BenchmarkColdStartSweep|BenchmarkWarmStartSweep)$'
+BENCH='^(BenchmarkTraceGenerator|BenchmarkTraceGeneratorPhases|BenchmarkTraceGeneratorBurst|BenchmarkTraceReplay|BenchmarkCacheHierarchyAccess|BenchmarkMemoryController|BenchmarkFullSystemSimulation|BenchmarkReliabilitySimulation|BenchmarkColdStartSweep|BenchmarkWarmStartSweep|BenchmarkFullRun|BenchmarkSampledRun)$'
 
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
