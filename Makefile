@@ -8,14 +8,15 @@
 #          sim/trace/tracefile paths its workers execute concurrently)
 #   bench  paper-artifact benchmarks (quick windows)
 #   bench-json
-#          hot-path component benchmarks -> BENCH_8.json (ns/op, B/op,
+#          hot-path component benchmarks -> BENCH_9.json (ns/op, B/op,
 #          allocs/op per benchmark, diffed against the recorded
 #          pre-optimization baseline; includes the cold/warm sweep pair,
-#          the trace generator/replay trio, and the full-vs-sampled run
-#          pair whose ns/op ratio is the sampling speedup)
+#          the trace generator/replay trio, the full-vs-sampled run
+#          pair whose ns/op ratio is the sampling speedup, and the
+#          hybrid DRAM hit/migration pair)
 #   bench-check
 #          CI perf gate: re-run the tracked benchmarks and fail on a
-#          >10% ns/op or any allocs/op regression vs BENCH_8.json
+#          >10% ns/op or any allocs/op regression vs BENCH_9.json
 #   profile
 #          CPU+heap profile of a representative experiment pass
 #          (cpu.prof / mem.prof; inspect with `go tool pprof`)
@@ -51,13 +52,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/cluster/... ./internal/engine/... ./internal/experiments/... ./internal/reliability/... ./internal/sampling/... ./internal/server/... ./internal/sim/... ./internal/stats/... ./internal/trace/... ./internal/tracefile/...
+	$(GO) test -race ./internal/cluster/... ./internal/dram/... ./internal/engine/... ./internal/experiments/... ./internal/reliability/... ./internal/sampling/... ./internal/server/... ./internal/sim/... ./internal/stats/... ./internal/trace/... ./internal/tracefile/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
 bench-json:
-	GO="$(GO)" ./scripts/bench_json.sh BENCH_8.json
+	GO="$(GO)" ./scripts/bench_json.sh BENCH_9.json
 
 bench-check:
 	GO="$(GO)" ./scripts/bench_check.sh

@@ -12,7 +12,17 @@
 //	       [-replay f0.rrmt,f1.rrmt,...] [-tenants A,B,...]
 //	       [-reliability] [-ecc-t 4] [-prog-ber 1e-5] [-ecc-latency 25ns]
 //	       [-patrol] [-patrol-interval 100ms] [-patrol-batch 64]
+//	       [-hybrid] [-hybrid-mb 64] [-hybrid-policy wcount|recency]
+//	       [-hybrid-threshold 4] [-hybrid-page 4096] [-hybrid-batch 8]
 //	       [-cpuprofile file] [-memprofile file]
+//
+// -hybrid fronts the PCM with a DRAM staging tier and hot-page migration
+// engine: hot pages (promoted by -hybrid-policy after -hybrid-threshold
+// missed writes, or any accesses for "recency") are staged in -hybrid-mb
+// of DRAM, demand writes to them are absorbed at DRAM latency, and
+// cold-dirty pages demote back to PCM in coalesced batches of
+// -hybrid-batch pages. The report gains a Hybrid tier section with the
+// per-tier traffic split and migration counters.
 //
 // -sample runs each simulation as a SMARTS-style sampled run instead of
 // one contiguous detailed window: -sample-windows detailed windows of
@@ -97,6 +107,12 @@ func main() {
 	patrol := flag.Bool("patrol", false, "enable background patrol scrubbing (with -reliability)")
 	patrolInterval := flag.Duration("patrol-interval", 100*time.Millisecond, "real-time interval between patrol batches (with -patrol)")
 	patrolBatch := flag.Int("patrol-batch", rrmpcm.DefaultReliabilityConfig().PatrolBatch, "lines scrubbed per patrol batch (with -patrol)")
+	hybrid := flag.Bool("hybrid", false, "front the PCM with a DRAM staging tier and hot-page migration")
+	hybridMB := flag.Uint64("hybrid-mb", 64, "DRAM staging capacity in MB (with -hybrid)")
+	hybridPolicy := flag.String("hybrid-policy", rrmpcm.PolicyWriteCount, "promotion policy: wcount (missed writes) or recency (any access) (with -hybrid)")
+	hybridThreshold := flag.Int("hybrid-threshold", rrmpcm.DefaultHybridConfig().Migration.PromoteThreshold, "misses before a page is promoted to DRAM (with -hybrid)")
+	hybridPage := flag.Uint64("hybrid-page", rrmpcm.DefaultHybridConfig().Migration.PageBytes, "migration page size in bytes (with -hybrid)")
+	hybridBatch := flag.Int("hybrid-batch", rrmpcm.DefaultHybridConfig().Migration.DemoteBatch, "cold-dirty pages demoted per coalesced batch (with -hybrid)")
 	sample := flag.Bool("sample", false, "run as a SMARTS-style sampled simulation (report gains confidence intervals)")
 	sampleWindows := flag.Int("sample-windows", 8, "detailed measurement windows per sampled run (with -sample)")
 	sampleWindow := flag.Duration("sample-window", 100*time.Microsecond, "measured length of each detailed window (with -sample)")
@@ -188,6 +204,15 @@ func main() {
 			rel.PatrolInterval = rrmpcm.Time(patrolInterval.Nanoseconds()) * rrmpcm.Nanosecond
 			rel.PatrolBatch = *patrolBatch
 			cfg.Reliability = rel
+		}
+		if *hybrid {
+			hc := rrmpcm.DefaultHybridConfig()
+			hc.DRAM.CapBytes = *hybridMB << 20
+			hc.Migration.Policy = *hybridPolicy
+			hc.Migration.PromoteThreshold = *hybridThreshold
+			hc.Migration.PageBytes = *hybridPage
+			hc.Migration.DemoteBatch = *hybridBatch
+			cfg.Hybrid = &hc
 		}
 		if *sample {
 			cfg.Sampling = &rrmpcm.SamplingSpec{
@@ -350,6 +375,20 @@ func report(m rrmpcm.Metrics, wall time.Duration) bool {
 	fmt.Printf("  refresh              %8.3f J\n", m.EnergyRefreshJ)
 	fmt.Printf("  total                %8.3f J\n\n", m.EnergyTotalJ)
 
+	if h := m.Hybrid; h != nil {
+		fmt.Printf("Hybrid tier (DRAM staging in front of PCM)\n")
+		fmt.Printf("  reads  PCM/DRAM      %d / %d (%.1f%% DRAM hit)\n",
+			h.PCMReads, h.DRAMReads, 100*h.DRAMReadHitRate)
+		fmt.Printf("  writes PCM/DRAM      %d / %d (%.1f%% absorbed)\n",
+			h.PCMWrites, h.DRAMWrites, 100*h.WriteAbsorption)
+		fmt.Printf("  promotions/demotions %d / %d (%d clean evictions, %d batches)\n",
+			h.Promotions, h.Demotions, h.CleanEvictions, h.CoalesceBatches)
+		fmt.Printf("  copy reads/writebacks %d / %d\n", h.CopyReads, h.WritebackBlocks)
+		fmt.Printf("  resident/dirty pages %d / %d\n", h.ResidentPages, h.DirtyPages)
+		fmt.Printf("  DRAM row-hit rate    %8.1f%% (%d refresh stalls, avg read %s)\n",
+			100*h.DRAMRowHitRate, h.DRAMRefreshStalls, h.DRAMAvgReadLatency)
+		fmt.Printf("  DRAM energy          %8.3f J (%.3f W)\n\n", h.DRAMEnergyJ, h.DRAMPowerW)
+	}
 	if len(m.Tenants) > 0 {
 		fmt.Printf("Tenants\n")
 		for _, t := range m.Tenants {

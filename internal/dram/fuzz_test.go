@@ -1,0 +1,105 @@
+package dram
+
+import (
+	"testing"
+
+	"rrmpcm/internal/memctrl"
+	"rrmpcm/internal/pcm"
+	"rrmpcm/internal/timing"
+)
+
+// FuzzHybridConfig throws arbitrary hybrid parameters at Validate and
+// demands the gate be exact: every accepted configuration must build a
+// working stack (device, migrator) and survive a functional traffic
+// burst without panicking, with the occupancy invariants intact.
+func FuzzHybridConfig(f *testing.F) {
+	d := DefaultHybridConfig()
+	f.Add(d.DRAM.CapBytes, d.DRAM.Banks,
+		int64(d.DRAM.TRCD), int64(d.DRAM.TCAS), int64(d.DRAM.TWR), int64(d.DRAM.BusXfer),
+		int64(d.DRAM.TREFI), int64(d.DRAM.TRFC),
+		d.Migration.PageBytes, true, d.Migration.PromoteThreshold,
+		d.Migration.AgeInterval, d.Migration.DemoteBatch, d.Migration.DirtyHighWater)
+	f.Add(uint64(1024), 2, int64(10), int64(5), int64(4), int64(2), int64(0), int64(0),
+		uint64(256), false, 2, 16, 2, 0.5)
+	f.Add(uint64(0), -1, int64(-5), int64(0), int64(-1), int64(0), int64(3), int64(7),
+		uint64(7), true, 0, 0, 0, -2.0)
+
+	pcmCfg := pcm.DeviceConfig{
+		MemBytes:            1 << 20,
+		Channels:            1,
+		Banks:               2,
+		RowBytes:            1024,
+		RowBufBytes:         256,
+		BlockBytes:          64,
+		EnduranceWrites:     5e6,
+		WearLevelEfficiency: 0.95,
+	}
+
+	f.Fuzz(func(t *testing.T, capBytes uint64, banks int,
+		trcd, tcas, twr, bus, trefi, trfc int64,
+		pageBytes uint64, wcount bool, threshold, age, batch int, highWater float64) {
+		policy := PolicyRecency
+		if wcount {
+			policy = PolicyWriteCount
+		}
+		hc := HybridConfig{
+			DRAM: DeviceConfig{
+				CapBytes: capBytes,
+				Banks:    banks,
+				TRCD:     timing.Time(trcd),
+				TCAS:     timing.Time(tcas),
+				TWR:      timing.Time(twr),
+				BusXfer:  timing.Time(bus),
+				TREFI:    timing.Time(trefi),
+				TRFC:     timing.Time(trfc),
+			},
+			Migration: MigrationConfig{
+				PageBytes:        pageBytes,
+				Policy:           policy,
+				PromoteThreshold: threshold,
+				AgeInterval:      age,
+				DemoteBatch:      batch,
+				DirtyHighWater:   highWater,
+			},
+		}
+		if err := hc.Validate(pcmCfg); err != nil {
+			return
+		}
+		amap, err := pcm.NewAddressMap(pcmCfg)
+		if err != nil {
+			t.Fatalf("valid PCM config rejected: %v", err)
+		}
+		eq := timing.NewEventQueue()
+		ctl, err := memctrl.New(memctrl.DefaultConfig(), amap, eq, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev, err := NewDevice(hc.DRAM, amap, eq)
+		if err != nil {
+			t.Fatalf("validated DRAM config rejected by NewDevice: %v", err)
+		}
+		m, err := NewMigrator(hc.Migration, ctl, dev, amap, eq, fixedMode{})
+		if err != nil {
+			t.Fatalf("validated migration config rejected by NewMigrator: %v", err)
+		}
+		m.SetFunctionalWriter(func(uint64, pcm.WriteMode) {})
+
+		capPages := int(capBytes / pageBytes)
+		addr := uint64(0)
+		for i := 0; i < 512; i++ {
+			addr = (addr*6364136223846793005 + 1442695040888963407) % pcmCfg.MemBytes
+			blk := addr &^ (pcmCfg.BlockBytes - 1)
+			if i%3 == 0 {
+				m.FunctionalRead(blk, timing.Time(i))
+			} else {
+				m.FunctionalWrite(blk, timing.Time(i))
+			}
+			if rp := m.ResidentPages(); rp > capPages {
+				t.Fatalf("resident pages %d exceed capacity %d", rp, capPages)
+			}
+			if dp := m.DirtyPages(); dp > m.ResidentPages() {
+				t.Fatalf("dirty pages %d exceed resident %d", dp, m.ResidentPages())
+			}
+		}
+	})
+}

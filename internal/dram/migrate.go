@@ -1,0 +1,588 @@
+package dram
+
+import (
+	"fmt"
+
+	"rrmpcm/internal/memctrl"
+	"rrmpcm/internal/pcm"
+	"rrmpcm/internal/timing"
+)
+
+// WriteModer chooses the write mode of a PCM write (the policy seam the
+// migration engine needs for demotion writebacks; core.WritePolicy
+// satisfies it structurally).
+type WriteModer interface {
+	DecideWriteMode(addr uint64, now timing.Time) pcm.WriteMode
+}
+
+// MigStats are the migration engine's aggregate counters. The DRAM/PCM
+// demand splits count routed demand traffic; promotion fills and
+// demotion writebacks are tracked separately (CopyReads,
+// WritebackBlocks).
+type MigStats struct {
+	DRAMReadHits  uint64 // demand reads served by the staging tier
+	DRAMWriteHits uint64 // demand writes absorbed by the staging tier
+	PCMReads      uint64 // demand reads forwarded to PCM
+	PCMWrites     uint64 // demand writes forwarded to PCM
+
+	Promotions      uint64 // pages staged into DRAM
+	Demotions       uint64 // dirty pages evicted (with writeback)
+	CleanEvictions  uint64 // clean pages dropped
+	CoalesceBatches uint64 // write-coalescing demotion batches
+	CopyReads       uint64 // PCM block reads issued by promotions
+	WritebackBlocks uint64 // PCM block writes issued by demotions
+}
+
+// pageEntry is one DRAM-resident page: a dirty bitmap (bit per block)
+// and an intrusive LRU link. Entries are pooled.
+type pageEntry struct {
+	page   uint64
+	dirty  uint64
+	writes uint32
+	prev   *pageEntry
+	next   *pageEntry
+}
+
+// copyOp is one in-flight promotion copy read; the PCM completion
+// callback is bound once per pooled object.
+type copyOp struct {
+	m    *Migrator
+	addr uint64
+	fn   func(timing.Time)
+}
+
+// Migrator is the hot-page migration engine. It implements
+// memctrl.Device in front of the PCM controller: demand traffic to
+// DRAM-resident pages is served by or absorbed into the staging array;
+// misses pass through to PCM and feed the promotion policy. Promotions
+// copy the page's blocks from PCM with real read requests (so the copies
+// see the ECC/retention machinery like any other array read); demotions
+// write dirty blocks back with the write policy's chosen mode.
+type Migrator struct {
+	cfg  MigrationConfig
+	ctl  *memctrl.Controller
+	dram *Device
+	eq   *timing.EventQueue
+	mode WriteModer
+
+	memMask       uint64
+	pageShift     uint
+	blockShift    uint
+	blocksPerPage uint64
+	capPages      int
+	highWater     int
+	countReads    bool // recency policy: reads feed the candidate counters
+
+	resident   map[uint64]*pageEntry
+	lruHead    *pageEntry // most recent
+	lruTail    *pageEntry // least recent
+	dirtyPages int
+	entryFree  []*pageEntry
+	victims    []*pageEntry // scratch for coalesced demotion
+
+	cand     map[uint64]uint32
+	accesses uint64 // since the last candidate aging
+
+	copyFree       []*copyOp
+	copiesInFlight int
+
+	// Copy reads / writebacks rejected by a full PCM queue park here and
+	// drain on the controller's space notifications.
+	parkedReads  [][]*memctrl.Request
+	parkedWrites [][]*memctrl.Request
+	parkArmed    [2][]bool // [read, write][channel]
+	parkedWB     int
+
+	// funcWrite completes a demotion writeback instantly in functional
+	// fast-forward mode (the simulator binds it to its wear/energy/
+	// retention accounting).
+	funcWrite func(addr uint64, mode pcm.WriteMode)
+
+	stats MigStats
+}
+
+var _ memctrl.Device = (*Migrator)(nil)
+
+// NewMigrator builds the migration engine fronting ctl with the staging
+// array dev. mode chooses writeback modes (the run's write policy).
+func NewMigrator(cfg MigrationConfig, ctl *memctrl.Controller, dev *Device,
+	amap *pcm.AddressMap, eq *timing.EventQueue, mode WriteModer) (*Migrator, error) {
+	pcmCfg := amap.Config()
+	if err := (HybridConfig{DRAM: dev.Config(), Migration: cfg}).Validate(pcmCfg); err != nil {
+		return nil, err
+	}
+	if mode == nil {
+		return nil, fmt.Errorf("dram: migrator needs a write-mode policy")
+	}
+	capPages := int(dev.Config().CapBytes / cfg.PageBytes)
+	hw := int(cfg.DirtyHighWater * float64(capPages))
+	if hw < 1 {
+		hw = 1
+	}
+	m := &Migrator{
+		cfg:           cfg,
+		ctl:           ctl,
+		dram:          dev,
+		eq:            eq,
+		mode:          mode,
+		memMask:       pcmCfg.MemBytes - 1,
+		pageShift:     log2(cfg.PageBytes),
+		blockShift:    log2(pcmCfg.BlockBytes),
+		blocksPerPage: cfg.PageBytes / pcmCfg.BlockBytes,
+		capPages:      capPages,
+		highWater:     hw,
+		countReads:    cfg.Policy == PolicyRecency,
+		resident:      make(map[uint64]*pageEntry, capPages),
+		victims:       make([]*pageEntry, 0, cfg.DemoteBatch),
+		cand:          make(map[uint64]uint32),
+		parkedReads:   make([][]*memctrl.Request, pcmCfg.Channels),
+		parkedWrites:  make([][]*memctrl.Request, pcmCfg.Channels),
+	}
+	m.parkArmed[0] = make([]bool, pcmCfg.Channels)
+	m.parkArmed[1] = make([]bool, pcmCfg.Channels)
+	return m, nil
+}
+
+// SetFunctionalWriter binds the instant-writeback hook used by
+// functional fast-forward demotions.
+func (m *Migrator) SetFunctionalWriter(fw func(addr uint64, mode pcm.WriteMode)) {
+	m.funcWrite = fw
+}
+
+// Stats returns a copy of the migration counters.
+func (m *Migrator) Stats() MigStats { return m.stats }
+
+// ResidentPages returns the current staging-tier occupancy.
+func (m *Migrator) ResidentPages() int { return len(m.resident) }
+
+// DirtyPages returns the current count of dirty resident pages.
+func (m *Migrator) DirtyPages() int { return m.dirtyPages }
+
+func (m *Migrator) pageOf(addr uint64) uint64 { return (addr & m.memMask) >> m.pageShift }
+
+func (m *Migrator) blockBit(addr uint64) uint64 {
+	return 1 << (((addr & m.memMask) >> m.blockShift) & (m.blocksPerPage - 1))
+}
+
+// --- memctrl.Device ---
+
+// AcquireRequest implements memctrl.Device (the PCM pool backs both
+// tiers: absorbed requests are released immediately).
+func (m *Migrator) AcquireRequest() *memctrl.Request { return m.ctl.AcquireRequest() }
+
+// ChannelOf implements memctrl.Device.
+func (m *Migrator) ChannelOf(addr uint64) int { return m.ctl.ChannelOf(addr) }
+
+// OnSpace implements memctrl.Device: backpressure is always against the
+// PCM queues (the DRAM path never rejects).
+func (m *Migrator) OnSpace(kind memctrl.RequestKind, channel int, fn func(now timing.Time)) {
+	m.ctl.OnSpace(kind, channel, fn)
+}
+
+// Pending implements memctrl.Device: in-flight work in either tier, plus
+// promotion copies and parked migration traffic.
+func (m *Migrator) Pending() bool {
+	return m.copiesInFlight > 0 || m.parkedWB > 0 || m.dram.Pending() || m.ctl.Pending()
+}
+
+// TryEnqueue implements memctrl.Device: route a demand request. Requests
+// served by the DRAM tier are always accepted (their PCM envelope is
+// released); forwarded requests keep the controller's backpressure
+// contract.
+func (m *Migrator) TryEnqueue(req *memctrl.Request) bool {
+	switch req.Kind {
+	case memctrl.ReadReq:
+		return m.enqueueRead(req)
+	case memctrl.WriteReq:
+		return m.enqueueWrite(req)
+	default:
+		// Refresh traffic is PCM retention machinery: always pass through.
+		return m.ctl.TryEnqueue(req)
+	}
+}
+
+func (m *Migrator) enqueueRead(req *memctrl.Request) bool {
+	now := m.eq.Now()
+	page := m.pageOf(req.Addr)
+	if e := m.resident[page]; e != nil {
+		m.moveFront(e)
+		m.stats.DRAMReadHits++
+		m.noteAccess(now)
+		addr, done := req.Addr, req.OnDone
+		oc, os, oi := req.OwnerCore, req.OwnerStore, req.OwnerInst
+		m.ctl.ReleaseRequest(req)
+		m.dram.Read(now, addr, done, oc, os, oi)
+		return true
+	}
+	if !m.ctl.TryEnqueue(req) {
+		return false
+	}
+	m.stats.PCMReads++
+	m.noteAccess(now)
+	if m.countReads {
+		// Recency promotion: the miss still reads PCM (the data is not
+		// staged yet), then the whole page is copied up.
+		if c := m.cand[page] + 1; int(c) >= m.cfg.PromoteThreshold {
+			m.promote(page, now, 0, false, false)
+		} else {
+			m.cand[page] = c
+		}
+	}
+	return true
+}
+
+func (m *Migrator) enqueueWrite(req *memctrl.Request) bool {
+	now := m.eq.Now()
+	page := m.pageOf(req.Addr)
+	if e := m.resident[page]; e != nil {
+		addr := req.Addr
+		m.ctl.ReleaseRequest(req)
+		m.absorb(e, addr, now, false)
+		return true
+	}
+	if int(m.cand[page])+1 >= m.cfg.PromoteThreshold {
+		// Write-count promotion (and the write leg of recency): the
+		// triggering write is absorbed dirty, the rest of the page copied.
+		addr := req.Addr
+		m.ctl.ReleaseRequest(req)
+		m.stats.DRAMWriteHits++
+		m.noteAccess(now)
+		m.promote(page, now, addr, true, false)
+		return true
+	}
+	if !m.ctl.TryEnqueue(req) {
+		return false
+	}
+	m.cand[page]++
+	m.stats.PCMWrites++
+	m.noteAccess(now)
+	return true
+}
+
+// --- migration mechanics ---
+
+// absorb marks a resident block dirty and writes it into the array.
+func (m *Migrator) absorb(e *pageEntry, addr uint64, now timing.Time, functional bool) {
+	if e.dirty == 0 {
+		m.dirtyPages++
+	}
+	e.dirty |= m.blockBit(addr)
+	e.writes++
+	m.moveFront(e)
+	m.stats.DRAMWriteHits++
+	m.noteAccess(now)
+	if functional {
+		m.dram.FunctionalWrite()
+	} else {
+		m.dram.Write(now, addr, false)
+	}
+	m.maybeCoalesce(now, functional)
+}
+
+// promote stages a page: evicts for a frame if needed, installs the
+// entry (optionally with the triggering write absorbed dirty) and issues
+// copy reads for the rest of the page. Functional mode skips the copy
+// traffic — residency is what fast-forward must track, not queueing.
+func (m *Migrator) promote(page uint64, now timing.Time, dirtyAddr uint64, hasDirty, functional bool) {
+	delete(m.cand, page)
+	if len(m.resident) >= m.capPages {
+		m.evict(m.lruTail, now, functional)
+	}
+	e := m.acquireEntry()
+	e.page = page
+	m.resident[page] = e
+	m.pushFront(e)
+	m.stats.Promotions++
+	dirtyBit := uint64(0)
+	if hasDirty {
+		dirtyBit = m.blockBit(dirtyAddr)
+		e.dirty = dirtyBit
+		e.writes = 1
+		m.dirtyPages++
+		if functional {
+			m.dram.FunctionalWrite()
+		} else {
+			m.dram.Write(now, dirtyAddr, false)
+		}
+	}
+	if !functional {
+		base := page << m.pageShift
+		for i := uint64(0); i < m.blocksPerPage; i++ {
+			if dirtyBit != 0 && uint64(1)<<i == dirtyBit {
+				continue
+			}
+			m.issueCopyRead(base+i<<m.blockShift, now)
+		}
+	}
+	m.maybeCoalesce(now, functional)
+}
+
+// issueCopyRead reads one block from PCM to fill a promoted page. The
+// read is a real array read (it meets ECC and retention inspection like
+// any demand read); a full read queue parks it.
+func (m *Migrator) issueCopyRead(addr uint64, now timing.Time) {
+	m.stats.CopyReads++
+	m.copiesInFlight++
+	req := m.ctl.AcquireRequest()
+	req.Kind, req.Addr = memctrl.ReadReq, addr
+	req.OwnerCore, req.OwnerInst = memctrl.OwnerMigrate, addr
+	op := m.acquireCopy(addr)
+	req.OnDone = op.fn
+	if !m.ctl.TryEnqueue(req) {
+		ch := m.ctl.ChannelOf(addr)
+		m.parkedReads[ch] = append(m.parkedReads[ch], req)
+		m.armPark(memctrl.ReadReq, ch)
+	}
+}
+
+// evict removes a page from the staging tier, writing dirty blocks back
+// to PCM with the policy's mode for each block.
+func (m *Migrator) evict(e *pageEntry, now timing.Time, functional bool) {
+	m.unlink(e)
+	delete(m.resident, e.page)
+	if e.dirty != 0 {
+		m.stats.Demotions++
+		m.dirtyPages--
+		base := e.page << m.pageShift
+		for i := uint64(0); i < m.blocksPerPage; i++ {
+			if e.dirty&(1<<i) != 0 {
+				m.writeback(base+i<<m.blockShift, now, functional)
+			}
+		}
+	} else {
+		m.stats.CleanEvictions++
+	}
+	m.releaseEntry(e)
+}
+
+// writeback issues one demotion block write to PCM.
+func (m *Migrator) writeback(addr uint64, now timing.Time, functional bool) {
+	m.stats.WritebackBlocks++
+	mode := m.mode.DecideWriteMode(addr, now)
+	if functional {
+		m.funcWrite(addr, mode)
+		return
+	}
+	req := m.ctl.AcquireRequest()
+	req.Kind, req.Addr, req.Mode, req.Wear = memctrl.WriteReq, addr, mode, pcm.WearDemandWrite
+	if !m.ctl.TryEnqueue(req) {
+		ch := m.ctl.ChannelOf(addr)
+		m.parkedWrites[ch] = append(m.parkedWrites[ch], req)
+		m.parkedWB++
+		m.armPark(memctrl.WriteReq, ch)
+	}
+}
+
+// maybeCoalesce demotes up to DemoteBatch cold-dirty pages from the LRU
+// tail once the dirty population crosses the high-water mark — the
+// write-coalescing buffer: demotion writes leave in batches instead of
+// dribbling out one eviction at a time.
+func (m *Migrator) maybeCoalesce(now timing.Time, functional bool) {
+	if m.dirtyPages < m.highWater {
+		return
+	}
+	m.victims = m.victims[:0]
+	for e := m.lruTail; e != nil && len(m.victims) < m.cfg.DemoteBatch; e = e.prev {
+		if e.dirty != 0 {
+			m.victims = append(m.victims, e)
+		}
+	}
+	if len(m.victims) == 0 {
+		return
+	}
+	m.stats.CoalesceBatches++
+	for _, e := range m.victims {
+		m.evict(e, now, functional)
+	}
+	m.victims = m.victims[:0]
+}
+
+// noteAccess ages the candidate counters: every AgeInterval demand
+// accesses, all counters halve (deterministic — halving is per-key).
+func (m *Migrator) noteAccess(timing.Time) {
+	m.accesses++
+	if m.accesses < uint64(m.cfg.AgeInterval) {
+		return
+	}
+	m.accesses = 0
+	for k, v := range m.cand {
+		v >>= 1
+		if v == 0 {
+			delete(m.cand, k)
+		} else {
+			m.cand[k] = v
+		}
+	}
+}
+
+// --- functional fast-forward ---
+
+// FunctionalRead routes a fast-forward read: true when the staging tier
+// serves it (the caller charges DRAM latency), false for PCM misses (the
+// caller keeps its flat PCM path). Residency, recency and candidate
+// state advance exactly as in detailed mode; copy traffic is skipped.
+func (m *Migrator) FunctionalRead(addr uint64, now timing.Time) bool {
+	page := m.pageOf(addr)
+	if e := m.resident[page]; e != nil {
+		m.moveFront(e)
+		m.stats.DRAMReadHits++
+		m.noteAccess(now)
+		m.dram.FunctionalRead()
+		return true
+	}
+	m.stats.PCMReads++
+	m.noteAccess(now)
+	if m.countReads {
+		if c := m.cand[page] + 1; int(c) >= m.cfg.PromoteThreshold {
+			m.promote(page, now, 0, false, true)
+		} else {
+			m.cand[page] = c
+		}
+	}
+	return false
+}
+
+// FunctionalWrite routes a fast-forward write: true when absorbed by the
+// staging tier, false when the caller should complete it as an instant
+// PCM write.
+func (m *Migrator) FunctionalWrite(addr uint64, now timing.Time) bool {
+	page := m.pageOf(addr)
+	if e := m.resident[page]; e != nil {
+		m.absorb(e, addr, now, true)
+		return true
+	}
+	if int(m.cand[page])+1 >= m.cfg.PromoteThreshold {
+		m.stats.DRAMWriteHits++
+		m.noteAccess(now)
+		m.promote(page, now, addr, true, true)
+		return true
+	}
+	m.cand[page]++
+	m.stats.PCMWrites++
+	m.noteAccess(now)
+	return false
+}
+
+// --- parked-request draining ---
+
+func (m *Migrator) parkIdx(kind memctrl.RequestKind) int {
+	if kind == memctrl.WriteReq {
+		return 1
+	}
+	return 0
+}
+
+func (m *Migrator) armPark(kind memctrl.RequestKind, ch int) {
+	idx := m.parkIdx(kind)
+	if m.parkArmed[idx][ch] {
+		return
+	}
+	m.parkArmed[idx][ch] = true
+	m.ctl.OnSpace(kind, ch, func(now timing.Time) {
+		m.parkArmed[idx][ch] = false
+		m.drainParked(kind, ch)
+	})
+}
+
+func (m *Migrator) drainParked(kind memctrl.RequestKind, ch int) {
+	list := &m.parkedReads[ch]
+	if kind == memctrl.WriteReq {
+		list = &m.parkedWrites[ch]
+	}
+	for len(*list) > 0 {
+		req := (*list)[0]
+		if !m.ctl.TryEnqueue(req) {
+			m.armPark(kind, ch)
+			return
+		}
+		copy(*list, (*list)[1:])
+		(*list)[len(*list)-1] = nil
+		*list = (*list)[:len(*list)-1]
+		if kind == memctrl.WriteReq {
+			m.parkedWB--
+		}
+	}
+}
+
+// --- pools and LRU list ---
+
+func (m *Migrator) acquireEntry() *pageEntry {
+	var e *pageEntry
+	if n := len(m.entryFree); n > 0 {
+		e = m.entryFree[n-1]
+		m.entryFree[n-1] = nil
+		m.entryFree = m.entryFree[:n-1]
+	} else {
+		e = &pageEntry{}
+	}
+	e.page, e.dirty, e.writes = 0, 0, 0
+	e.prev, e.next = nil, nil
+	return e
+}
+
+func (m *Migrator) releaseEntry(e *pageEntry) {
+	e.prev, e.next = nil, nil
+	m.entryFree = append(m.entryFree, e)
+}
+
+func (m *Migrator) acquireCopy(addr uint64) *copyOp {
+	var op *copyOp
+	if n := len(m.copyFree); n > 0 {
+		op = m.copyFree[n-1]
+		m.copyFree[n-1] = nil
+		m.copyFree = m.copyFree[:n-1]
+	} else {
+		op = &copyOp{m: m}
+		op.fn = func(t timing.Time) { op.complete(t) }
+	}
+	op.addr = addr
+	return op
+}
+
+func (op *copyOp) complete(t timing.Time) {
+	m := op.m
+	m.copiesInFlight--
+	m.dram.Write(t, op.addr, true)
+	m.copyFree = append(m.copyFree, op)
+}
+
+// CopyDoneCallback rebuilds a promotion copy read's completion callback
+// from the block address a snapshot recorded as its owner identity
+// (OwnerCore == memctrl.OwnerMigrate, OwnerInst == addr).
+func (m *Migrator) CopyDoneCallback(addr uint64) func(timing.Time) {
+	return m.acquireCopy(addr).fn
+}
+
+func (m *Migrator) pushFront(e *pageEntry) {
+	e.prev = nil
+	e.next = m.lruHead
+	if m.lruHead != nil {
+		m.lruHead.prev = e
+	}
+	m.lruHead = e
+	if m.lruTail == nil {
+		m.lruTail = e
+	}
+}
+
+func (m *Migrator) unlink(e *pageEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		m.lruHead = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		m.lruTail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (m *Migrator) moveFront(e *pageEntry) {
+	if m.lruHead == e {
+		return
+	}
+	m.unlink(e)
+	m.pushFront(e)
+}

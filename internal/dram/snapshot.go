@@ -1,0 +1,157 @@
+package dram
+
+import (
+	"sort"
+
+	"rrmpcm/internal/memctrl"
+	"rrmpcm/internal/pcm"
+	"rrmpcm/internal/snapshot"
+)
+
+// Aliases keep the codec signatures in device.go/migrate.go short.
+type (
+	snapshotWriter = snapshot.Writer
+	snapshotReader = snapshot.Reader
+)
+
+const migSection = 0x4D47 // "MG"
+
+// Snapshot writes the migration tables: the resident set in LRU order
+// (which rebuilds the list), the candidate counters (sorted for
+// determinism), in-flight copy state and the parked migration requests.
+// In-flight copy reads themselves live in the PCM controller's section,
+// recorded under the OwnerMigrate identity.
+func (m *Migrator) Snapshot(w *snapshot.Writer) error {
+	w.Section(migSection)
+	w.U32(uint32(len(m.resident)))
+	for e := m.lruHead; e != nil; e = e.next {
+		w.U64(e.page)
+		w.U64(e.dirty)
+		w.U32(e.writes)
+	}
+	keys := make([]uint64, 0, len(m.cand))
+	for k := range m.cand {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	w.U32(uint32(len(keys)))
+	for _, k := range keys {
+		w.U64(k)
+		w.U32(m.cand[k])
+	}
+	w.U64(m.accesses)
+	w.U32(uint32(m.copiesInFlight))
+	for _, list := range m.parkedReads {
+		w.U32(uint32(len(list)))
+		for _, req := range list {
+			w.U64(req.Addr)
+		}
+	}
+	for _, list := range m.parkedWrites {
+		w.U32(uint32(len(list)))
+		for _, req := range list {
+			w.U64(req.Addr)
+			w.U8(uint8(req.Mode))
+		}
+	}
+	for idx := range m.parkArmed {
+		for _, armed := range m.parkArmed[idx] {
+			w.Bool(armed)
+		}
+	}
+	return w.JSON(m.stats)
+}
+
+// Restore loads Snapshot state. Parked copy reads rebuild their
+// completion callbacks from the pooled copy-op machinery; parked
+// writebacks are plain requests. Space waiters are re-registered, as the
+// controller's own restore contract requires.
+func (m *Migrator) Restore(r *snapshot.Reader) {
+	r.Section(migSection)
+	for k := range m.resident {
+		delete(m.resident, k)
+	}
+	m.lruHead, m.lruTail = nil, nil
+	m.dirtyPages = 0
+	n := r.Count(m.capPages)
+	// Entries arrive head (MRU) to tail: append each at the tail.
+	var tail *pageEntry
+	for i := 0; i < n; i++ {
+		if r.Err() != nil {
+			return
+		}
+		e := m.acquireEntry()
+		e.page = r.U64()
+		e.dirty = r.U64()
+		e.writes = r.U32()
+		if e.dirty != 0 {
+			m.dirtyPages++
+		}
+		m.resident[e.page] = e
+		if tail == nil {
+			m.lruHead = e
+		} else {
+			tail.next = e
+			e.prev = tail
+		}
+		tail = e
+	}
+	m.lruTail = tail
+	n = r.Count(1 << 26)
+	m.cand = make(map[uint64]uint32, n)
+	for i := 0; i < n; i++ {
+		if r.Err() != nil {
+			return
+		}
+		k := r.U64()
+		m.cand[k] = r.U32()
+	}
+	m.accesses = r.U64()
+	m.copiesInFlight = int(r.U32())
+	for ch := range m.parkedReads {
+		n := r.Count(1 << 20)
+		m.parkedReads[ch] = m.parkedReads[ch][:0]
+		for i := 0; i < n; i++ {
+			if r.Err() != nil {
+				return
+			}
+			addr := r.U64()
+			req := m.ctl.AcquireRequest()
+			req.Kind, req.Addr = memctrl.ReadReq, addr
+			req.OwnerCore, req.OwnerInst = memctrl.OwnerMigrate, addr
+			req.OnDone = m.CopyDoneCallback(addr)
+			m.parkedReads[ch] = append(m.parkedReads[ch], req)
+		}
+	}
+	m.parkedWB = 0
+	for ch := range m.parkedWrites {
+		n := r.Count(1 << 20)
+		m.parkedWrites[ch] = m.parkedWrites[ch][:0]
+		for i := 0; i < n; i++ {
+			if r.Err() != nil {
+				return
+			}
+			req := m.ctl.AcquireRequest()
+			req.Kind = memctrl.WriteReq
+			req.Addr = r.U64()
+			req.Mode = pcm.WriteMode(r.U8())
+			req.Wear = pcm.WearDemandWrite
+			m.parkedWrites[ch] = append(m.parkedWrites[ch], req)
+			m.parkedWB++
+		}
+	}
+	for idx := range m.parkArmed {
+		kind := memctrl.ReadReq
+		if idx == 1 {
+			kind = memctrl.WriteReq
+		}
+		for ch := range m.parkArmed[idx] {
+			m.parkArmed[idx][ch] = false
+			if r.Bool() && r.Err() == nil {
+				m.armPark(kind, ch)
+			}
+		}
+	}
+	m.stats = MigStats{}
+	r.JSON(&m.stats)
+}

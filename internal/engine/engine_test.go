@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"rrmpcm/internal/dram"
 	"rrmpcm/internal/pcm"
 	"rrmpcm/internal/sim"
 	"rrmpcm/internal/timing"
@@ -236,6 +237,20 @@ func TestConfigHash(t *testing.T) {
 		},
 		"sampling-stride": func(c *sim.Config) {
 			c.Sampling = &sim.SamplingSpec{Windows: 8, Window: 10, DetailWarmup: 5, FFStride: 16}
+		},
+		"hybrid": func(c *sim.Config) {
+			hc := dram.DefaultHybridConfig()
+			c.Hybrid = &hc
+		},
+		"hybrid-capacity": func(c *sim.Config) {
+			hc := dram.DefaultHybridConfig()
+			hc.DRAM.CapBytes /= 2
+			c.Hybrid = &hc
+		},
+		"hybrid-policy": func(c *sim.Config) {
+			hc := dram.DefaultHybridConfig()
+			hc.Migration.Policy = dram.PolicyRecency
+			c.Hybrid = &hc
 		},
 	}
 	seen := map[string]string{base: "base"}

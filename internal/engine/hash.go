@@ -8,6 +8,7 @@ import (
 
 	"rrmpcm/internal/cache"
 	"rrmpcm/internal/core"
+	"rrmpcm/internal/dram"
 	"rrmpcm/internal/memctrl"
 	"rrmpcm/internal/pcm"
 	"rrmpcm/internal/reliability"
@@ -54,6 +55,11 @@ type hashImage struct {
 	// full-run hashes — and their cache entries — are unchanged, and a
 	// sampled run can never alias the full run it approximates).
 	Sampling *sim.SamplingSpec `json:",omitempty"`
+
+	// Hybrid is present only when the DRAM staging tier is enabled (same
+	// omitempty pattern: every PCM-only config keeps its pre-hybrid hash
+	// and the run cache/artifact store stay valid).
+	Hybrid *dram.HybridConfig `json:",omitempty"`
 }
 
 // schemeImage mirrors sim.Scheme with Custom flattened to its name.
@@ -100,6 +106,10 @@ func ConfigHash(cfg sim.Config) (string, error) {
 	if cfg.Sampling != nil {
 		sp := *cfg.Sampling
 		img.Sampling = &sp
+	}
+	if cfg.Hybrid != nil {
+		hc := *cfg.Hybrid
+		img.Hybrid = &hc
 	}
 	blob, err := json.Marshal(img)
 	if err != nil {

@@ -29,7 +29,7 @@ import (
 // warmHashVersion guards the warm-key space: bump it whenever the
 // snapshot encoding or the simulation's warmup behavior changes, so
 // stale disk snapshots from older builds stop matching.
-const warmHashVersion = "rrmpcm-warm-v2" // v2: sim snapshot format 2 (tenant section, stream kinds)
+const warmHashVersion = "rrmpcm-warm-v3" // v3: sim snapshot format 3 (hybrid DRAM/migration sections)
 
 // warmImage is the warmup-relevant prefix of a config: hashImage minus
 // the knobs that only matter after the warmup boundary (Duration,
@@ -92,6 +92,12 @@ func WarmKey(cfg sim.Config) (string, bool, error) {
 		rel := cfg.Reliability
 		img.Reliability = &rel
 		img.WarmDuration = cfg.Duration
+	}
+	if cfg.Hybrid != nil {
+		// The staging tier's residency forms during warmup: hybrid
+		// configs only share snapshots with identical hybrid settings.
+		hc := *cfg.Hybrid
+		img.Hybrid = &hc
 	}
 	blob, err := json.Marshal(img)
 	if err != nil {

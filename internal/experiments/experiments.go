@@ -45,6 +45,7 @@ func All() []Experiment {
 		{"ablation-decay", "A5: decay interval sensitivity", AblationDecay},
 		{"ablation-wearlevel", "A6: Start-Gap wear-leveling efficiency (Table V assumption)", AblationWearLevel},
 		{"sampling", "S1: interval sampling, error vs speed", ExperimentSampling},
+		{"hybrid", "H1: DRAM staging tier, RRM vs statics vs combined", ExperimentHybrid},
 	}
 }
 

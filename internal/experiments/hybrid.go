@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"rrmpcm/internal/dram"
+	"rrmpcm/internal/pcm"
+	"rrmpcm/internal/sim"
+	"rrmpcm/internal/stats"
+	"rrmpcm/internal/trace"
+)
+
+// ExperimentHybrid (H1) evaluates the DRAM staging tier against — and
+// combined with — the paper's RRM. Four variants per workload:
+// Static-7 (the slow/durable baseline everything is normalized to),
+// RRM-in-PCM alone, Static-7 fronted by the DRAM cache, and RRM plus
+// the DRAM cache. The two mechanisms attack the same problem from
+// opposite ends: the RRM speeds up hot PCM writes in place (spending
+// refresh energy), the staging tier keeps hot pages out of PCM entirely
+// (spending DRAM capacity and migration traffic). The interesting
+// question is whether they compose: DRAM absorbs the write bursts, so
+// the RRM's fast tier sees only the overflow and its refresh burden
+// shrinks.
+//
+// The workload set is the main matrix plus the non-stationary W1
+// generators, where migration churn (promote, strand, demote) is
+// hardest on the staging tier.
+func ExperimentHybrid(r *Runner) (string, error) {
+	withDRAM := func(c *sim.Config) {
+		hc := dram.DefaultHybridConfig()
+		c.Hybrid = &hc
+	}
+	variants := []struct {
+		name   string
+		scheme sim.Scheme
+		mutate func(*sim.Config)
+	}{
+		{"Static-7", sim.StaticScheme(pcm.Mode7SETs), nil},
+		{"RRM", sim.RRMScheme(), nil},
+		{"Static-7+DRAM", sim.StaticScheme(pcm.Mode7SETs), withDRAM},
+		{"RRM+DRAM", sim.RRMScheme(), withDRAM},
+	}
+
+	ws := append([]trace.Workload{}, r.opt.workloads()...)
+	for i, w := range trace.DynamicWorkloads() {
+		if r.opt.Quick && i > 0 {
+			break // one phase-changing generator is enough for smoke runs
+		}
+		ws = append(ws, w)
+	}
+
+	specs := make([]RunSpec, 0, len(ws)*len(variants))
+	for _, w := range ws {
+		for _, v := range variants {
+			specs = append(specs, RunSpec{Label: "h1", Scheme: v.scheme, Workload: w, Mutate: v.mutate})
+		}
+	}
+	ms, err := r.RunBatch(specs)
+	if err != nil {
+		return "", err
+	}
+	at := func(wi, vi int) sim.Metrics { return ms[wi*len(variants)+vi] }
+
+	// pcmWriteShare is the fraction of demand writes the PCM array
+	// actually served (including migration writebacks); 1.0 without the
+	// staging tier, lower when DRAM absorbs and coalesces.
+	pcmWriteShare := func(m sim.Metrics) float64 {
+		if m.Hybrid == nil || m.WritesServed == 0 {
+			return 1
+		}
+		return float64(m.Hybrid.PCMWrites) / float64(m.WritesServed)
+	}
+
+	rows := [][]string{{"Workload", "Variant", "Norm. IPC", "Lifetime y", "Energy J", "PCM write share", "Promotions"}}
+	for wi, w := range ws {
+		base := at(wi, 0)
+		for vi, v := range variants {
+			m := at(wi, vi)
+			promotions := "-"
+			if m.Hybrid != nil {
+				promotions = fmt.Sprintf("%d", m.Hybrid.Promotions)
+			}
+			rows = append(rows, []string{
+				w.Name, v.name,
+				fmt.Sprintf("%.3f", m.IPC/base.IPC),
+				fmt.Sprintf("%.2f", m.LifetimeYears),
+				fmt.Sprintf("%.3f", m.EnergyTotalJ),
+				fmt.Sprintf("%.2f", pcmWriteShare(m)),
+				promotions,
+			})
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString("Hybrid DRAM staging tier, IPC normalized to Static-7-SETs per workload\n")
+	b.WriteString(stats.Table(rows))
+
+	// Geomean summary per variant.
+	sum := [][]string{{"Variant", "Norm. IPC", "Lifetime y", "Energy J", "PCM write share"}}
+	gm := make([]struct{ ipc, life, energy, share float64 }, len(variants))
+	for vi := range variants {
+		perf := make([]float64, 0, len(ws))
+		life := make([]float64, 0, len(ws))
+		energy := make([]float64, 0, len(ws))
+		share := make([]float64, 0, len(ws))
+		for wi := range ws {
+			m := at(wi, vi)
+			perf = append(perf, m.IPC/at(wi, 0).IPC)
+			life = append(life, m.LifetimeYears)
+			energy = append(energy, m.EnergyTotalJ)
+			share = append(share, pcmWriteShare(m))
+		}
+		gm[vi].ipc = stats.Geomean(perf)
+		gm[vi].life = stats.Geomean(life)
+		gm[vi].energy = stats.Geomean(energy)
+		gm[vi].share = stats.Geomean(share)
+		sum = append(sum, []string{
+			variants[vi].name,
+			fmt.Sprintf("%.3f", gm[vi].ipc),
+			fmt.Sprintf("%.2f", gm[vi].life),
+			fmt.Sprintf("%.3f", gm[vi].energy),
+			fmt.Sprintf("%.2f", gm[vi].share),
+		})
+	}
+	b.WriteString("\nGeomean over all workloads\n")
+	b.WriteString(stats.Table(sum))
+
+	fmt.Fprintf(&b, "\nDRAM staging cuts PCM demand-write traffic to %.0f%% (Static-7+DRAM) / %.0f%% (RRM+DRAM) of baseline\n",
+		100*gm[2].share, 100*gm[3].share)
+	fmt.Fprintf(&b, "Lifetime: Static-7+DRAM %+.1f%% vs Static-7; RRM+DRAM %+.1f%% vs RRM alone\n",
+		100*(gm[2].life/gm[0].life-1), 100*(gm[3].life/gm[1].life-1))
+
+	// Dominance: workloads where the combined scheme beats both single
+	// mechanisms on IPC and lifetime simultaneously.
+	var domBoth, domIPC, domLife int
+	for wi := range ws {
+		rrm, sd, both := at(wi, 1), at(wi, 2), at(wi, 3)
+		ipcWin := both.IPC >= rrm.IPC && both.IPC >= sd.IPC
+		lifeWin := both.LifetimeYears >= rrm.LifetimeYears && both.LifetimeYears >= sd.LifetimeYears
+		if ipcWin {
+			domIPC++
+		}
+		if lifeWin {
+			domLife++
+		}
+		if ipcWin && lifeWin {
+			domBoth++
+		}
+	}
+	fmt.Fprintf(&b, "RRM+DRAM vs best single mechanism: IPC wins %d/%d, lifetime wins %d/%d, both %d/%d workloads\n",
+		domIPC, len(ws), domLife, len(ws), domBoth, len(ws))
+	return b.String(), nil
+}

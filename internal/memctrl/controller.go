@@ -96,7 +96,7 @@ func (c *Controller) AcquireRequest() *Request {
 	}
 	r.Kind, r.Addr, r.Mode, r.Wear, r.OnDone = 0, 0, 0, 0, nil
 	r.forwarded = false
-	r.OwnerCore, r.OwnerStore, r.OwnerInst = -1, false, 0
+	r.OwnerCore, r.OwnerStore, r.OwnerInst = OwnerNone, false, 0
 	r.flightIdx = -1
 	return r
 }

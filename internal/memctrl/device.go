@@ -1,0 +1,54 @@
+package memctrl
+
+import "rrmpcm/internal/timing"
+
+// Sentinel OwnerCore values. Real cores are numbered from zero; a demand
+// read carries its core index so snapshots can rebuild the completion
+// callback. Requests issued by non-core agents use a negative sentinel.
+const (
+	// OwnerNone marks a request with no snapshot-resolvable owner
+	// (writes, refreshes, and reads whose OnDone is nil).
+	OwnerNone = -1
+	// OwnerMigrate marks a migration-engine copy read (hybrid DRAM tier
+	// page fill). OwnerInst carries the block address; the restorer
+	// rebuilds the callback from it (see dram.Migrator.CopyDoneCallback).
+	OwnerMigrate = -2
+)
+
+// Device is the per-channel memory service seam between the simulator
+// backend and a memory implementation. The PCM Controller is the first
+// implementation; the hybrid DRAM staging tier (internal/dram.Migrator)
+// wraps it with the same contract. The interface is deliberately exactly
+// the surface the simulator backend already used on *Controller, so the
+// seam costs one interface dispatch and nothing else:
+//
+//   - AcquireRequest hands out pooled transaction envelopes (recycled on
+//     completion; zero steady-state allocation).
+//   - TryEnqueue submits a request, returning false when the target queue
+//     is full — the caller parks the request and arms OnSpace.
+//   - OnSpace registers a one-shot callback for the next time the given
+//     queue of the given channel drops below capacity.
+//   - ChannelOf exposes the address-to-channel mapping for backpressure
+//     bookkeeping.
+//   - Pending reports in-flight work, letting the simulator drain cleanly
+//     at a measurement boundary.
+//
+// Wear, energy, and reliability remain optional capabilities wired beside
+// the device (Recorder, ReadIntegrity); a device without them — DRAM has
+// no wear — simply never invokes the hooks.
+type Device interface {
+	AcquireRequest() *Request
+	TryEnqueue(req *Request) bool
+	OnSpace(kind RequestKind, channel int, fn func(now timing.Time))
+	ChannelOf(addr uint64) int
+	Pending() bool
+}
+
+var _ Device = (*Controller)(nil)
+
+// ReleaseRequest returns an un-enqueued pooled request to the pool. Most
+// requests recycle themselves on completion; this is for agents that
+// accept a request without enqueueing it (the hybrid migration engine
+// absorbs writes into DRAM and serves resident reads from the staging
+// tier, retiring the PCM envelope immediately).
+func (c *Controller) ReleaseRequest(r *Request) { c.release(r) }

@@ -62,11 +62,12 @@ type Request struct {
 	// returned for reads; write pulse finished for writes).
 	OnDone func(now timing.Time)
 
-	// OwnerCore/OwnerStore/OwnerInst identify the core-side requester of
-	// a demand read (OwnerCore < 0: no owner). OnDone is a closure and
-	// cannot travel in a state snapshot, so the snapshot records this
-	// identity instead and the restorer rebuilds the callback from it
-	// (see cpu.Core.MissCallback).
+	// OwnerCore/OwnerStore/OwnerInst identify the requester of a demand
+	// read (OwnerNone: no owner; OwnerMigrate: hybrid-tier copy read).
+	// OnDone is a closure and cannot travel in a state snapshot, so the
+	// snapshot records this identity instead and the restorer rebuilds
+	// the callback from it (see cpu.Core.MissCallback and
+	// dram.Migrator.CopyDoneCallback).
 	OwnerCore  int
 	OwnerStore bool
 	OwnerInst  uint64

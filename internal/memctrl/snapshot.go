@@ -21,7 +21,7 @@ func putReq(w *snapshot.Writer, r *Request) error {
 	if !r.pooled {
 		return fmt.Errorf("memctrl: snapshot requires pooled requests")
 	}
-	if r.OnDone != nil && r.OwnerCore < 0 {
+	if r.OnDone != nil && r.OwnerCore == OwnerNone {
 		return fmt.Errorf("memctrl: request %v@%#x has an OnDone callback but no owner identity", r.Kind, r.Addr)
 	}
 	w.U8(uint8(r.Kind))
@@ -49,7 +49,7 @@ func (c *Controller) getReq(r *snapshot.Reader, resolve OwnerResolver) *Request 
 	req.OwnerStore = r.Bool()
 	req.OwnerInst = r.U64()
 	req.loc = c.amap.Decode(req.Addr)
-	if req.OwnerCore >= 0 && resolve != nil {
+	if req.OwnerCore != OwnerNone && resolve != nil {
 		req.OnDone = resolve(req.OwnerCore, req.OwnerStore, req.OwnerInst)
 	}
 	return req

@@ -158,6 +158,11 @@ func aggregate(cfg sim.Config, ms []sim.Metrics) sim.Metrics {
 	out.RetentionDetail = sumRetentionDetail(ms)
 	out.Reliability = sumReliability(ms)
 	out.Tenants = aggregateTenants(ms, scale)
+	if h := aggregateHybrid(ms, scale); h != nil {
+		h.DRAMEnergyJ = h.DRAMPowerW * out.EquivSeconds
+		out.EnergyTotalJ += h.DRAMEnergyJ
+		out.Hybrid = h
+	}
 
 	out.Sampling = &sim.SamplingReport{
 		Windows:             n,
@@ -252,6 +257,58 @@ func sumReliability(ms []sim.Metrics) *reliability.Metrics {
 	}
 	out.Finalize()
 	return &out
+}
+
+// aggregateHybrid merges the per-window hybrid-tier breakdowns (nil for
+// PCM-only runs): traffic and migration counts are coverage-scaled like
+// the top-level counts, rates and power are window means, and the
+// occupancy gauges are end-state, so the last window's view stands for
+// the run. DRAMEnergyJ is derived by the caller from the aggregated
+// power and equivalent duration.
+func aggregateHybrid(ms []sim.Metrics, scale float64) *sim.HybridMetrics {
+	if ms[0].Hybrid == nil {
+		return nil
+	}
+	n := len(ms)
+	count := func(f func(*sim.HybridMetrics) uint64) uint64 {
+		var sum uint64
+		for i := range ms {
+			sum += f(ms[i].Hybrid)
+		}
+		return uint64(float64(sum)*scale + 0.5)
+	}
+	mean := func(f func(*sim.HybridMetrics) float64) float64 {
+		var sum float64
+		for i := range ms {
+			sum += f(ms[i].Hybrid)
+		}
+		return sum / float64(n)
+	}
+	out := &sim.HybridMetrics{
+		PCMReads:        count(func(h *sim.HybridMetrics) uint64 { return h.PCMReads }),
+		PCMWrites:       count(func(h *sim.HybridMetrics) uint64 { return h.PCMWrites }),
+		DRAMReads:       count(func(h *sim.HybridMetrics) uint64 { return h.DRAMReads }),
+		DRAMWrites:      count(func(h *sim.HybridMetrics) uint64 { return h.DRAMWrites }),
+		DRAMReadHitRate: mean(func(h *sim.HybridMetrics) float64 { return h.DRAMReadHitRate }),
+		WriteAbsorption: mean(func(h *sim.HybridMetrics) float64 { return h.WriteAbsorption }),
+		Promotions:      count(func(h *sim.HybridMetrics) uint64 { return h.Promotions }),
+		Demotions:       count(func(h *sim.HybridMetrics) uint64 { return h.Demotions }),
+		CleanEvictions:  count(func(h *sim.HybridMetrics) uint64 { return h.CleanEvictions }),
+		CoalesceBatches: count(func(h *sim.HybridMetrics) uint64 { return h.CoalesceBatches }),
+		CopyReads:       count(func(h *sim.HybridMetrics) uint64 { return h.CopyReads }),
+		WritebackBlocks: count(func(h *sim.HybridMetrics) uint64 { return h.WritebackBlocks }),
+		ResidentPages:   ms[n-1].Hybrid.ResidentPages,
+		DirtyPages:      ms[n-1].Hybrid.DirtyPages,
+		DRAMRowHitRate:  mean(func(h *sim.HybridMetrics) float64 { return h.DRAMRowHitRate }),
+		DRAMRefreshStalls: count(func(h *sim.HybridMetrics) uint64 {
+			return h.DRAMRefreshStalls
+		}),
+		DRAMAvgReadLatency: timing.Time(mean(func(h *sim.HybridMetrics) float64 {
+			return float64(h.DRAMAvgReadLatency)
+		})),
+		DRAMPowerW: mean(func(h *sim.HybridMetrics) float64 { return h.DRAMPowerW }),
+	}
+	return out
 }
 
 // aggregateTenants merges per-tenant attribution across windows: count

@@ -1,0 +1,72 @@
+package sampling
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"rrmpcm/internal/dram"
+	"rrmpcm/internal/sim"
+	"rrmpcm/internal/timing"
+	"rrmpcm/internal/trace"
+)
+
+// TestSampledHybridRun smoke-tests the sampling executor over a hybrid
+// DRAM–PCM system with a thinned fast-forward, which drives the
+// migrator's functional read/write routing and functional demotion
+// writebacks, and checks the aggregated metrics carry the hybrid
+// breakdown across windows.
+func TestSampledHybridRun(t *testing.T) {
+	w, err := trace.WorkloadByName("GemsFDTD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig(sim.RRMScheme(), w)
+	cfg.Duration = 2000 * timing.Microsecond
+	cfg.Warmup = 500 * timing.Microsecond
+	cfg.TimeScale = 1000
+	cfg.Seed = 1
+	hc := dram.DefaultHybridConfig()
+	hc.DRAM.CapBytes = 256 * 1024
+	hc.Migration.PromoteThreshold = 2
+	cfg.Hybrid = &hc
+	cfg.Sampling = &sim.SamplingSpec{
+		Windows:      2,
+		Window:       200 * timing.Microsecond,
+		DetailWarmup: 100 * timing.Microsecond,
+		FFStride:     2,
+	}
+	m, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Sampling == nil {
+		t.Fatal("sampled run produced no sampling report")
+	}
+	h := m.Hybrid
+	if h == nil {
+		t.Fatal("sampled hybrid run produced no Hybrid metrics section")
+	}
+	if h.DRAMReads == 0 && h.DRAMWrites == 0 {
+		t.Error("staging tier served no traffic in the sampled windows")
+	}
+	if m.IPC <= 0 {
+		t.Errorf("sampled hybrid run IPC = %v, want > 0", m.IPC)
+	}
+	if m.RetentionViolations != 0 {
+		t.Errorf("sampled hybrid run has %d retention violations", m.RetentionViolations)
+	}
+
+	// Window-parallelism independence must survive the hybrid state: a
+	// serial re-run aggregates to byte-identical metrics.
+	m2, err := RunParallel(context.Background(), cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(m)
+	b, _ := json.Marshal(m2)
+	if !bytes.Equal(a, b) {
+		t.Errorf("parallel and serial sampled hybrid runs diverged:\n%s\n%s", a, b)
+	}
+}

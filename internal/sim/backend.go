@@ -54,6 +54,11 @@ type backend struct {
 	// flatBase is the configured (unscaled) flat latency; the sampler's
 	// feedback loop clamps its adjustments relative to it.
 	flatBase timing.Time
+	// flatDramLat is the functional-mode cost of a hybrid staging-tier
+	// hit (unloaded DRAM read latency over the same MLP divisor). Zero
+	// for PCM-only runs; the sampler's feedback loop leaves it fixed —
+	// DRAM hits are latency-stable.
+	flatDramLat timing.Time
 
 	// Peak backlog of RRM refreshes, for the deadline discussion.
 	maxRefreshBacklog int
@@ -91,6 +96,10 @@ func newBackend(sys *System) *backend {
 			timing.Time(functionalMLP),
 	}
 	b.flatBase = b.flatReadLat
+	if hc := sys.cfg.Hybrid; hc != nil {
+		b.flatDramLat = (hc.DRAM.TRCD + hc.DRAM.TCAS + hc.DRAM.BusXfer) /
+			timing.Time(functionalMLP)
+	}
 	for k := range b.spaceArmed {
 		b.spaceArmed[k] = make([]bool, ch)
 	}
@@ -122,13 +131,18 @@ func (b *backend) Access(coreID int, addr uint64, store bool, instNum uint64, no
 			// Functional fast-forward: charge the unloaded read latency
 			// synchronously and account the block read now. The
 			// controller (and the reliability read-path inspection it
-			// hosts) is bypassed.
+			// hosts) is bypassed. Hybrid staging-tier hits advance the
+			// migration state and cost the DRAM flat latency instead.
+			if m := b.sys.migr; m != nil && m.FunctionalRead(res.MemReadAddr, now) {
+				reply.Stall = b.flatDramLat
+				break
+			}
 			reply.Stall = b.flatReadLat
 			b.RecordRead(res.MemReadAddr)
 			break
 		}
 		reply.Pending = true
-		req := b.sys.ctl.AcquireRequest()
+		req := b.sys.dev.AcquireRequest()
 		req.Kind, req.Addr, req.OnDone = memctrl.ReadReq, res.MemReadAddr, done
 		// Owner identity lets a state snapshot rebuild the callback
 		// (cpu.Core.MissCallback) after a restore.
@@ -142,11 +156,15 @@ func (b *backend) Access(coreID int, addr uint64, store bool, instNum uint64, no
 		mode := b.sys.policy.DecideWriteMode(wb, now)
 		if b.sys.functional {
 			// Instant completion: wear/energy/retention/reliability
-			// state advance, queueing is skipped.
+			// state advance, queueing is skipped. Writes the hybrid
+			// staging tier absorbs never touch the PCM state.
+			if m := b.sys.migr; m != nil && m.FunctionalWrite(wb, now) {
+				continue
+			}
 			b.RecordWrite(wb, mode, pcm.WearDemandWrite)
 			continue
 		}
-		req := b.sys.ctl.AcquireRequest()
+		req := b.sys.dev.AcquireRequest()
 		req.Kind, req.Addr, req.Mode, req.Wear = memctrl.WriteReq, wb, mode, pcm.WearDemandWrite
 		b.submitAt(now, req, coreID)
 	}
@@ -194,10 +212,10 @@ func (b *backend) untrackSub(s *submission) {
 
 // submit enqueues or parks a request.
 func (b *backend) submit(req *memctrl.Request, coreID int, now timing.Time) {
-	if b.sys.ctl.TryEnqueue(req) {
+	if b.sys.dev.TryEnqueue(req) {
 		return
 	}
-	ch := b.sys.ctl.ChannelOf(req.Addr)
+	ch := b.sys.dev.ChannelOf(req.Addr)
 	switch req.Kind {
 	case memctrl.WriteReq:
 		b.overflowWrites[ch] = append(b.overflowWrites[ch], req)
@@ -223,7 +241,7 @@ func (b *backend) armSpace(kind memctrl.RequestKind, ch int) {
 		return
 	}
 	b.spaceArmed[kind][ch] = true
-	b.sys.ctl.OnSpace(kind, ch, func(now timing.Time) {
+	b.sys.dev.OnSpace(kind, ch, func(now timing.Time) {
 		b.spaceArmed[kind][ch] = false
 		b.drain(kind, ch, now)
 	})
@@ -242,7 +260,7 @@ func (b *backend) drain(kind memctrl.RequestKind, ch int, now timing.Time) {
 	}
 	for len(*list) > 0 {
 		req := (*list)[0]
-		if !b.sys.ctl.TryEnqueue(req) {
+		if !b.sys.dev.TryEnqueue(req) {
 			b.armSpace(kind, ch)
 			return
 		}
@@ -279,7 +297,7 @@ func (b *backend) IssueRefresh(addr uint64, mode pcm.WriteMode, kind pcm.WearKin
 		b.RecordWrite(addr, mode, kind)
 		return
 	}
-	req := b.sys.ctl.AcquireRequest()
+	req := b.sys.dev.AcquireRequest()
 	req.Kind, req.Addr, req.Mode, req.Wear = memctrl.RefreshReq, addr, mode, kind
 	b.submit(req, -1, b.sys.eq.Now())
 }

@@ -28,6 +28,7 @@ import (
 
 	"rrmpcm/internal/cache"
 	"rrmpcm/internal/core"
+	"rrmpcm/internal/dram"
 	"rrmpcm/internal/memctrl"
 	"rrmpcm/internal/pcm"
 	"rrmpcm/internal/reliability"
@@ -130,6 +131,13 @@ type Config struct {
 	// rates by it. Zero means "report rates only, totals over 5 s".
 	EquivalentDuration timing.Time
 
+	// Hybrid, when non-nil, fronts the PCM with a DRAM staging tier and
+	// hot-page migration engine (internal/dram): demand traffic to
+	// resident pages is served by or absorbed into DRAM, misses feed the
+	// promotion policy, and cold-dirty pages demote in coalesced
+	// batches. Nil — the default — is the paper's PCM-only machine.
+	Hybrid *dram.HybridConfig `json:",omitempty"`
+
 	// Sampling, when non-nil, runs the measurement as SMARTS-style
 	// interval sampling (internal/sampling) instead of one contiguous
 	// detailed window: Duration is covered by Sampling.Windows detailed
@@ -204,6 +212,11 @@ func (c Config) Validate() error {
 	}
 	if err := c.Reliability.Validate(); err != nil {
 		return err
+	}
+	if c.Hybrid != nil {
+		if err := c.Hybrid.Validate(c.Device); err != nil {
+			return err
+		}
 	}
 	switch c.Scheme.Kind {
 	case SchemeStatic:

@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"rrmpcm/internal/dram"
+	"rrmpcm/internal/trace"
+)
+
+// hybridGoldenConfig is goldenConfig with the DRAM staging tier enabled.
+// The DRAM capacity is shrunk far below the default so the quick golden
+// windows exercise the whole migration machinery — promotions, LRU
+// evictions, dirty demotions and coalesced batches — not just fills.
+func hybridGoldenConfig(scheme Scheme, w trace.Workload, policy string) Config {
+	cfg := goldenConfig(scheme, w)
+	hc := dram.DefaultHybridConfig()
+	hc.DRAM.CapBytes = 256 * 1024 // 64 pages
+	hc.Migration.Policy = policy
+	hc.Migration.PromoteThreshold = 2
+	cfg.Hybrid = &hc
+	return cfg
+}
+
+// TestHybridForkBitIdentical is the hybrid correctness bar: with the
+// staging tier enabled (both promotion policies), snapshotting at the
+// warmup boundary and measuring from the restored fork must produce
+// metrics bit-identical to the straight-through run. This covers the
+// DRAM device codec, the migrator codec (residency, LRU order, dirty
+// bits, candidate counters, parked traffic) and the OwnerMigrate
+// callback-identity reconstruction for in-flight copy reads.
+func TestHybridForkBitIdentical(t *testing.T) {
+	w, err := trace.WorkloadByName("GemsFDTD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, policy := range []string{dram.PolicyWriteCount, dram.PolicyRecency} {
+		policy := policy
+		t.Run(policy, func(t *testing.T) {
+			cfg := hybridGoldenConfig(RRMScheme(), w, policy)
+			straight := runStraight(t, cfg)
+			forked := runForked(t, cfg, snapshotWarm(t, cfg))
+			if !bytes.Equal(straight, forked) {
+				t.Errorf("forked hybrid run diverged from straight-through:\n%s", goldenDiff(straight, forked))
+			}
+		})
+	}
+}
+
+// TestHybridTierCountersSum pins the per-tier accounting invariant: the
+// hybrid breakdown must partition the global served counters exactly —
+// Hybrid.PCMReads+Hybrid.DRAMReads == ReadsServed and likewise for
+// writes — and a hybrid run must stay retention-clean (absorbed writes
+// never strand a PCM retention deadline).
+func TestHybridTierCountersSum(t *testing.T) {
+	w, err := trace.WorkloadByName("GemsFDTD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := hybridGoldenConfig(RRMScheme(), w, dram.PolicyWriteCount)
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := m.Hybrid
+	if h == nil {
+		t.Fatal("hybrid run produced no Hybrid metrics section")
+	}
+	if got := h.PCMReads + h.DRAMReads; got != m.ReadsServed {
+		t.Errorf("tier reads don't sum: PCM %d + DRAM %d = %d, want ReadsServed %d",
+			h.PCMReads, h.DRAMReads, got, m.ReadsServed)
+	}
+	if got := h.PCMWrites + h.DRAMWrites; got != m.WritesServed {
+		t.Errorf("tier writes don't sum: PCM %d + DRAM %d = %d, want WritesServed %d",
+			h.PCMWrites, h.DRAMWrites, got, m.WritesServed)
+	}
+	if h.DRAMReads == 0 && h.DRAMWrites == 0 {
+		t.Error("staging tier served no traffic; the config isn't exercising migration")
+	}
+	if h.Promotions == 0 {
+		t.Error("no promotions; the config isn't exercising migration")
+	}
+	if m.RetentionViolations != 0 {
+		t.Errorf("hybrid run has %d retention violations; staging-tier absorption must not strand deadlines",
+			m.RetentionViolations)
+	}
+}
+
+// TestHybridDeterministic runs one hybrid config twice in-process and
+// demands identical JSON: a tripwire for nondeterminism in the migration
+// engine (map-ordered promotion scans, pool recycling order).
+func TestHybridDeterministic(t *testing.T) {
+	w, err := trace.WorkloadByName("GemsFDTD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []byte {
+		sys, err := New(hybridGoldenConfig(RRMScheme(), w, dram.PolicyRecency))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := sys.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("identical hybrid configs produced different metrics:\n%s", goldenDiff(a, b))
+	}
+}
+
+// TestHybridReducesPCMWrites is the headline claim of the staging tier:
+// for a write-heavy workload, absorbing hot-page writes in DRAM must cut
+// the write traffic the PCM array actually serves — even counting the
+// migration's own demotion writebacks — versus the same PCM-only run.
+func TestHybridReducesPCMWrites(t *testing.T) {
+	w, err := trace.WorkloadByName("GemsFDTD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := goldenConfig(RRMScheme(), w)
+	sysB, err := New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := sysB.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := hybridGoldenConfig(RRMScheme(), w, dram.PolicyWriteCount)
+	sysH, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mh, err := sysH.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mh.Hybrid == nil {
+		t.Fatal("hybrid run produced no Hybrid metrics section")
+	}
+	if mh.Hybrid.PCMWrites >= mb.WritesServed {
+		t.Errorf("staging tier did not reduce PCM write traffic: hybrid PCM writes %d >= baseline %d",
+			mh.Hybrid.PCMWrites, mb.WritesServed)
+	}
+}

@@ -84,6 +84,53 @@ type Metrics struct {
 	// — omitted — for full runs, so their metrics documents and goldens
 	// are unchanged).
 	Sampling *SamplingReport `json:"sampling,omitempty"`
+
+	// Hybrid is the per-tier and migration-traffic breakdown of a
+	// hybrid DRAM–PCM run (nil — omitted — when the staging tier is
+	// disabled, so PCM-only metrics documents and goldens are
+	// unchanged). When present, ReadsServed/WritesServed cover both
+	// tiers: Hybrid.PCMReads+Hybrid.DRAMReads == ReadsServed, and
+	// likewise for writes.
+	Hybrid *HybridMetrics `json:"hybrid,omitempty"`
+}
+
+// HybridMetrics is the hybrid tier's measurement-window breakdown.
+type HybridMetrics struct {
+	// Per-tier served traffic. The PCM side counts everything the PCM
+	// array served in the window, including migration copy reads and
+	// demotion writebacks; the DRAM side counts demand traffic the
+	// staging tier served (reads) or absorbed (writes).
+	PCMReads   uint64 `json:"pcm_reads"`
+	PCMWrites  uint64 `json:"pcm_writes"`
+	DRAMReads  uint64 `json:"dram_reads"`
+	DRAMWrites uint64 `json:"dram_writes"`
+
+	// DRAMReadHitRate is the staging tier's share of demand reads;
+	// WriteAbsorption its share of demand writes.
+	DRAMReadHitRate float64 `json:"dram_read_hit_rate"`
+	WriteAbsorption float64 `json:"write_absorption"`
+
+	// Migration traffic.
+	Promotions      uint64 `json:"promotions"`
+	Demotions       uint64 `json:"demotions"`
+	CleanEvictions  uint64 `json:"clean_evictions"`
+	CoalesceBatches uint64 `json:"coalesce_batches"`
+	CopyReads       uint64 `json:"copy_reads"`
+	WritebackBlocks uint64 `json:"writeback_blocks"`
+
+	// End-of-window staging-tier occupancy gauges.
+	ResidentPages int `json:"resident_pages"`
+	DirtyPages    int `json:"dirty_pages"`
+
+	// DRAM array behaviour.
+	DRAMRowHitRate     float64     `json:"dram_row_hit_rate"`
+	DRAMRefreshStalls  uint64      `json:"dram_refresh_stalls"`
+	DRAMAvgReadLatency timing.Time `json:"dram_avg_read_latency"`
+
+	// DRAM energy as real power plus the equivalent-duration total
+	// (added into EnergyTotalJ).
+	DRAMPowerW  float64 `json:"dram_power_w"`
+	DRAMEnergyJ float64 `json:"dram_energy_j"`
 }
 
 // TenantMetrics is one tenant's slice of a multi-tenant run: the
@@ -221,6 +268,10 @@ func (s *System) collect(window timing.Time) Metrics {
 	m.EnergyRefreshJ = m.PowerRefreshW * m.EquivSeconds
 	m.EnergyTotalJ = m.EnergyDemandJ + m.EnergyRefreshJ + m.PowerReadW*m.EquivSeconds
 
+	if s.migr != nil {
+		s.collectHybrid(&m)
+	}
+
 	// RRM internals.
 	if s.rrm != nil {
 		cur := s.rrm.Stats()
@@ -261,4 +312,47 @@ func (s *System) collect(window timing.Time) Metrics {
 		s.collectTenants(&m)
 	}
 	return m
+}
+
+// collectHybrid fills Metrics.Hybrid and folds the staging tier into the
+// global traffic and energy totals. Called after the controller and
+// energy sections: m.ReadsServed/WritesServed hold the PCM-side window
+// deltas at this point and are widened to cover both tiers.
+func (s *System) collectHybrid(m *Metrics) {
+	sn := &s.base
+	mg := s.migr.Stats()
+	ds := s.dramDev.Stats()
+	h := &HybridMetrics{
+		PCMReads:        m.ReadsServed,
+		PCMWrites:       m.WritesServed,
+		DRAMReads:       mg.DRAMReadHits - sn.mig.DRAMReadHits,
+		DRAMWrites:      mg.DRAMWriteHits - sn.mig.DRAMWriteHits,
+		Promotions:      mg.Promotions - sn.mig.Promotions,
+		Demotions:       mg.Demotions - sn.mig.Demotions,
+		CleanEvictions:  mg.CleanEvictions - sn.mig.CleanEvictions,
+		CoalesceBatches: mg.CoalesceBatches - sn.mig.CoalesceBatches,
+		CopyReads:       mg.CopyReads - sn.mig.CopyReads,
+		WritebackBlocks: mg.WritebackBlocks - sn.mig.WritebackBlocks,
+		ResidentPages:   s.migr.ResidentPages(),
+		DirtyPages:      s.migr.DirtyPages(),
+	}
+	m.ReadsServed += h.DRAMReads
+	m.WritesServed += h.DRAMWrites
+	if d := h.DRAMReads + (mg.PCMReads - sn.mig.PCMReads); d > 0 {
+		h.DRAMReadHitRate = float64(h.DRAMReads) / float64(d)
+	}
+	if d := h.DRAMWrites + (mg.PCMWrites - sn.mig.PCMWrites); d > 0 {
+		h.WriteAbsorption = float64(h.DRAMWrites) / float64(d)
+	}
+	if hits, misses := ds.RowHits-sn.dram.RowHits, ds.RowMisses-sn.dram.RowMisses; hits+misses > 0 {
+		h.DRAMRowHitRate = float64(hits) / float64(hits+misses)
+	}
+	h.DRAMRefreshStalls = ds.RefreshStalls - sn.dram.RefreshStalls
+	if reads := ds.Reads - sn.dram.Reads; reads > 0 {
+		h.DRAMAvgReadLatency = (ds.ReadLatencySum - sn.dram.ReadLatencySum) / timing.Time(reads)
+	}
+	h.DRAMPowerW = (ds.EnergyReadJ - sn.dram.EnergyReadJ + ds.EnergyWriteJ - sn.dram.EnergyWriteJ) / m.SimSeconds
+	h.DRAMEnergyJ = h.DRAMPowerW * m.EquivSeconds
+	m.EnergyTotalJ += h.DRAMEnergyJ
+	m.Hybrid = h
 }

@@ -18,11 +18,13 @@ import (
 // exactly — a restored run is bit-identical to the run it forked from.
 // Version history: v1 through PR 6; v2 adds the tenant-tracker section
 // (and streams may now be Dynamic or Replay cursors, whose section tags
-// differ from Mixture's). engine.warmHashVersion was bumped alongside,
-// so v1 blobs are never looked up, let alone misparsed.
+// differ from Mixture's); v3 adds the hybrid DRAM/migration sections and
+// the OwnerMigrate identity for in-flight copy reads.
+// engine.warmHashVersion was bumped alongside each, so older blobs are
+// never looked up, let alone misparsed.
 const (
 	sysSnapMagic   uint32 = 0x52524D53 // "RRMS"
-	sysSnapVersion uint16 = 2
+	sysSnapVersion uint16 = 3
 )
 
 // Snapshot serializes a warmed system (after Warmup, before Measure).
@@ -70,6 +72,15 @@ func (s *System) Snapshot() ([]byte, error) {
 	if s.tenants != nil {
 		s.tenants.snapshot(w)
 	}
+	w.Bool(s.migr != nil)
+	if s.migr != nil {
+		if err := s.dramDev.Snapshot(w); err != nil {
+			return nil, err
+		}
+		if err := s.migr.Snapshot(w); err != nil {
+			return nil, err
+		}
+	}
 	if err := s.backend.snapshot(w); err != nil {
 		return nil, err
 	}
@@ -112,9 +123,20 @@ func (s *System) Restore(blob []byte) error {
 		c.Restore(r, &pend)
 	}
 	s.hier.Restore(r)
-	s.ctl.Restore(r, func(core int, store bool, inst uint64) func(timing.Time) {
+	// The owner resolver rebuilds read-completion callbacks: core demand
+	// reads via MissCallback, hybrid-tier copy reads via the migration
+	// engine (nil for a hybrid/config mismatch, which the hybrid marker
+	// check below turns into a restore error).
+	resolve := func(core int, store bool, inst uint64) func(timing.Time) {
+		if core == memctrl.OwnerMigrate {
+			if s.migr == nil {
+				return nil
+			}
+			return s.migr.CopyDoneCallback(inst)
+		}
 		return s.cores[core].MissCallback(store, inst)
-	}, &pend)
+	}
+	s.ctl.Restore(r, resolve, &pend)
 	s.wear.Restore(r)
 	s.energy.Restore(r)
 	if hasRRM := r.Bool(); r.Err() == nil && hasRRM != (s.rrm != nil) {
@@ -140,6 +162,13 @@ func (s *System) Restore(blob []byte) error {
 	}
 	if s.tenants != nil && r.Err() == nil {
 		s.tenants.restore(r)
+	}
+	if hasHyb := r.Bool(); r.Err() == nil && hasHyb != (s.migr != nil) {
+		r.Fail("sim: snapshot/config hybrid mismatch (present: %v)", hasHyb)
+	}
+	if s.migr != nil && r.Err() == nil {
+		s.dramDev.Restore(r, resolve, &pend)
+		s.migr.Restore(r)
 	}
 	s.backend.restore(r, &pend)
 	if r.Bool() {

@@ -7,6 +7,7 @@ import (
 	"rrmpcm/internal/cache"
 	"rrmpcm/internal/core"
 	"rrmpcm/internal/cpu"
+	"rrmpcm/internal/dram"
 	"rrmpcm/internal/memctrl"
 	"rrmpcm/internal/pcm"
 	"rrmpcm/internal/reliability"
@@ -50,12 +51,17 @@ type System struct {
 	ffInsts uint64
 	ffSpan  timing.Time
 
-	eq      *timing.EventQueue
-	amap    *pcm.AddressMap
-	wear    *pcm.WearTracker
-	energy  *pcm.EnergyMeter
-	hier    *cache.Hierarchy
-	ctl     *memctrl.Controller
+	eq     *timing.EventQueue
+	amap   *pcm.AddressMap
+	wear   *pcm.WearTracker
+	energy *pcm.EnergyMeter
+	hier   *cache.Hierarchy
+	ctl    *memctrl.Controller
+	// dev is the memory device the backend talks to: the PCM controller
+	// directly, or the hybrid migration engine fronting it (cfg.Hybrid).
+	dev     memctrl.Device
+	dramDev *dram.Device   // nil unless the hybrid tier is enabled
+	migr    *dram.Migrator // nil unless the hybrid tier is enabled
 	policy  core.WritePolicy
 	rrm     *core.RRM // nil for static/custom schemes
 	cores   []*cpu.Core
@@ -135,6 +141,27 @@ func New(cfg Config) (*System, error) {
 		s.rel = reliability.New(cfg.Reliability, pcm.DefaultDriftTable(),
 			cfg.TimeScale, s.refreshSampling(), cfg.reliabilitySeed())
 		s.ctl.SetReadIntegrity(s.rel)
+	}
+
+	// The backend talks to the memory system through the device seam:
+	// PCM-only runs bind the controller directly (one interface dispatch,
+	// nothing else changes); hybrid runs interpose the migration engine.
+	s.dev = s.ctl
+	if cfg.Hybrid != nil {
+		s.dramDev, err = dram.NewDevice(cfg.Hybrid.DRAM, s.amap, s.eq)
+		if err != nil {
+			return nil, err
+		}
+		s.migr, err = dram.NewMigrator(cfg.Hybrid.Migration, s.ctl, s.dramDev, s.amap, s.eq, s.policy)
+		if err != nil {
+			return nil, err
+		}
+		// Functional fast-forward demotions complete instantly but still
+		// advance wear/energy/retention state like any PCM write.
+		s.migr.SetFunctionalWriter(func(addr uint64, mode pcm.WriteMode) {
+			s.backend.RecordWrite(addr, mode, pcm.WearDemandWrite)
+		})
+		s.dev = s.migr
 	}
 
 	nStreams := cfg.Workload.NumStreams()
@@ -276,14 +303,14 @@ func (s *System) finishMeasure(ctx context.Context, end timing.Time, window timi
 		s.checker.horizon = end
 	}
 	deadline := end + 100*timing.Millisecond
-	for s.ctl.Pending() && s.eq.Now() < deadline {
+	for s.dev.Pending() && s.eq.Now() < deadline {
 		if err := ctx.Err(); err != nil {
 			return Metrics{}, fmt.Errorf("sim: run cancelled at %v: %w", s.eq.Now(), err)
 		}
 		s.eq.RunUntil(s.eq.Now() + timing.Millisecond)
 	}
-	if s.ctl.Pending() {
-		return Metrics{}, fmt.Errorf("sim: memory controller failed to drain after %v", deadline-end)
+	if s.dev.Pending() {
+		return Metrics{}, fmt.Errorf("sim: memory system failed to drain after %v", deadline-end)
 	}
 	if s.checker != nil {
 		s.checker.finish(s.eq.Now())
@@ -356,6 +383,8 @@ type baseline struct {
 	rrm       core.Stats
 	rel       reliability.Metrics
 	tenants   *tenantCounters // nil unless tenants are tracked
+	dram      dram.Stats      // zero unless the hybrid tier is enabled
+	mig       dram.MigStats
 }
 
 func (s *System) captureBaseline() {
@@ -389,5 +418,9 @@ func (s *System) captureBaseline() {
 	}
 	if s.tenants != nil {
 		sn.tenants.copyFrom(&s.tenants.tenantCounters)
+	}
+	if s.migr != nil {
+		sn.dram = s.dramDev.Stats()
+		sn.mig = s.migr.Stats()
 	}
 }

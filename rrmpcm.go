@@ -37,6 +37,7 @@ import (
 
 	"rrmpcm/internal/cache"
 	"rrmpcm/internal/core"
+	"rrmpcm/internal/dram"
 	"rrmpcm/internal/engine"
 	"rrmpcm/internal/experiments"
 	"rrmpcm/internal/memctrl"
@@ -235,6 +236,28 @@ type (
 	SamplingSpec   = sim.SamplingSpec
 	SamplingReport = sim.SamplingReport
 )
+
+// HybridConfig enables the hybrid DRAM–PCM tier (Config.Hybrid; nil =
+// PCM-only): a DRAM staging array (DRAMDeviceConfig) plus the hot-page
+// migration engine (MigrationConfig) in front of the PCM.
+// HybridMetrics is the per-tier and migration-traffic breakdown of a
+// hybrid run (Metrics.Hybrid, non-nil only when the tier is enabled).
+type (
+	HybridConfig     = dram.HybridConfig
+	DRAMDeviceConfig = dram.DeviceConfig
+	MigrationConfig  = dram.MigrationConfig
+	HybridMetrics    = sim.HybridMetrics
+)
+
+// Hot-page promotion policies (MigrationConfig.Policy).
+const (
+	PolicyWriteCount = dram.PolicyWriteCount
+	PolicyRecency    = dram.PolicyRecency
+)
+
+// DefaultHybridConfig returns a 64 MB DDR3-class staging tier with
+// MigrantStore-style write-count promotion and batched demotion.
+func DefaultHybridConfig() HybridConfig { return dram.DefaultHybridConfig() }
 
 // RunSampled executes cfg as an interval-sampled run (cfg.Sampling must
 // be set): one serial warmup-and-snapshot pass, then the detailed

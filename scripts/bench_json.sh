@@ -1,6 +1,6 @@
 #!/usr/bin/env sh
 # bench_json.sh — run the simulator hot-path benchmarks and emit a
-# machine-readable JSON report (default BENCH_8.json) with ns/op, B/op
+# machine-readable JSON report (default BENCH_9.json) with ns/op, B/op
 # and allocs/op per benchmark, the recorded pre-optimization baseline
 # from scripts/bench_baseline_3.json (where one exists), and the
 # relative improvement. The cold/warm sweep pair measures the warm-start
@@ -11,15 +11,18 @@
 # full/sampled pair at the end runs one steady-state configuration
 # cycle-accurately and through the interval-sampling executor; the
 # ns/op ratio is the sampling speedup (>=10x at this configuration).
+# The hybrid pair measures the DRAM staging tier: HybridDRAMHit is the
+# resident-page fast path (routing + DRAM array, zero PCM traffic) and
+# HybridMigration a full promote/copy/demote churn cycle.
 #
 # Usage: scripts/bench_json.sh [output.json]
 # Env:   BENCHTIME overrides go test -benchtime (default 1s).
 set -eu
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_8.json}
+OUT=${1:-BENCH_9.json}
 BASELINE=scripts/bench_baseline_3.json
-BENCH='^(BenchmarkTraceGenerator|BenchmarkTraceGeneratorPhases|BenchmarkTraceGeneratorBurst|BenchmarkTraceReplay|BenchmarkCacheHierarchyAccess|BenchmarkMemoryController|BenchmarkFullSystemSimulation|BenchmarkReliabilitySimulation|BenchmarkColdStartSweep|BenchmarkWarmStartSweep|BenchmarkFullRun|BenchmarkSampledRun)$'
+BENCH='^(BenchmarkTraceGenerator|BenchmarkTraceGeneratorPhases|BenchmarkTraceGeneratorBurst|BenchmarkTraceReplay|BenchmarkCacheHierarchyAccess|BenchmarkMemoryController|BenchmarkFullSystemSimulation|BenchmarkReliabilitySimulation|BenchmarkColdStartSweep|BenchmarkWarmStartSweep|BenchmarkFullRun|BenchmarkSampledRun|BenchmarkHybridDRAMHit|BenchmarkHybridMigration)$'
 
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
