@@ -276,7 +276,7 @@ func (benchModeDecider) DecideWriteMode(uint64, timing.Time) pcm.WriteMode { ret
 
 // benchHybridRig assembles the migrator-fronted stack (PCM controller,
 // DRAM device, migration engine) the hybrid benchmarks drive directly.
-func benchHybridRig(b *testing.B, mutate func(*dram.HybridConfig)) (*dram.Migrator, *timing.EventQueue, dram.HybridConfig) {
+func benchHybridRig(b testing.TB, mutate func(*dram.HybridConfig)) (*dram.Migrator, *timing.EventQueue, dram.HybridConfig) {
 	b.Helper()
 	hc := dram.DefaultHybridConfig()
 	if mutate != nil {
@@ -309,7 +309,7 @@ func benchHybridRig(b *testing.B, mutate func(*dram.HybridConfig)) (*dram.Migrat
 // benchHybridDrain runs the stack dry: process every queued event, then
 // slice time forward past posted DRAM writes (which occupy banks without
 // scheduling events) until nothing is in flight.
-func benchHybridDrain(b *testing.B, m *dram.Migrator, eq *timing.EventQueue) {
+func benchHybridDrain(b testing.TB, m *dram.Migrator, eq *timing.EventQueue) {
 	b.Helper()
 	for i := 0; m.Pending(); i++ {
 		eq.Drain(1 << 20)
@@ -427,6 +427,32 @@ func BenchmarkFullSystemSimulation(b *testing.B) {
 		cfg.Duration = 2 * Millisecond
 		cfg.Warmup = 500 * Microsecond
 		cfg.TimeScale = 1000
+		m, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(m.Instructions)/b.Elapsed().Seconds(), "sim-insts/s")
+	}
+}
+
+// BenchmarkShardedSimulation is BenchmarkFullSystemSimulation on the
+// sharded event engine: one shard per memory channel (4 on the default
+// device) behind conservative epoch barriers. Metrics are byte-identical
+// to the serial run (internal/sim TestShardsMetricsIdentical); the ns/op
+// ratio against BenchmarkFullSystemSimulation is the recorded engine
+// speedup in BENCH_10.json.
+func BenchmarkShardedSimulation(b *testing.B) {
+	w, err := WorkloadByName("GemsFDTD")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig(RRMScheme(), w)
+		cfg.Duration = 2 * Millisecond
+		cfg.Warmup = 500 * Microsecond
+		cfg.TimeScale = 1000
+		cfg.Shards = 4
 		m, err := Run(cfg)
 		if err != nil {
 			b.Fatal(err)

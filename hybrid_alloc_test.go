@@ -1,0 +1,50 @@
+package rrmpcm
+
+import (
+	"testing"
+
+	"rrmpcm/internal/dram"
+	"rrmpcm/internal/memctrl"
+	"rrmpcm/internal/pcm"
+)
+
+// TestHybridMigrationAllocBudget pins the steady-state allocation cost
+// of a full promote/copy/demote churn cycle. Every descriptor on the
+// path is pooled (page entries, copy ops, controller requests, park
+// callbacks, space-waiter delivery arrays), so once the pools are warm
+// a cycle should allocate almost nothing: the budget covers the
+// per-delivery waiter event closure plus amortized slab refills. A
+// regression here means a pool stopped recycling or a hot-path closure
+// came back.
+func TestHybridMigrationAllocBudget(t *testing.T) {
+	m, eq, hc := benchHybridRig(t, func(hc *dram.HybridConfig) {
+		hc.Migration.PromoteThreshold = 1
+		hc.DRAM.CapBytes = 64 * hc.Migration.PageBytes
+	})
+	span := uint64(1) << 30
+	var addr uint64
+	// One churn cycle, drained dry so pooled objects return before the
+	// next cycle (the benchmark variant keeps 1024 events outstanding
+	// instead, which measures throughput rather than recycling).
+	churn := func() {
+		addr = (addr + hc.Migration.PageBytes) % span
+		req := m.AcquireRequest()
+		req.Kind, req.Addr, req.Mode, req.Wear = memctrl.WriteReq, addr, pcm.Mode7SETs, pcm.WearDemandWrite
+		if !m.TryEnqueue(req) {
+			t.Fatal("promoting write rejected")
+		}
+		benchHybridDrain(t, m, eq)
+	}
+	// Warm: fill the 64-frame tier, cross the dirty high-water mark so
+	// coalesced demotions run, and let every pool reach steady depth.
+	for i := 0; i < 256; i++ {
+		churn()
+	}
+	const budget = 24.0
+	if avg := testing.AllocsPerRun(100, churn); avg > budget {
+		t.Errorf("hybrid churn cycle allocates %.1f objects/op, budget %.0f", avg, budget)
+	}
+	if st := m.Stats(); st.Promotions == 0 || st.WritebackBlocks == 0 {
+		t.Fatalf("alloc budget rig idle: %+v", st)
+	}
+}

@@ -87,17 +87,21 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(s.Accesses)
 }
 
-type line struct {
-	tag     uint64
-	valid   bool
-	dirty   bool
-	lastUse uint64
-}
+// invalidTag marks an empty way. A real tag is a block address (device
+// capacities are far below 2^64 bytes), so the sentinel can never match
+// a lookup and the valid bit folds into the tag array itself.
+const invalidTag = ^uint64(0)
 
-// Cache is one set-associative level.
+// Cache is one set-associative level. Way state is stored
+// structure-of-arrays: the tag scan — the hot loop of every access —
+// touches one densely packed uint64 per way instead of a padded struct,
+// and the LRU stamps and dirty bits stay out of the scan's cache lines.
 type Cache struct {
 	cfg      Config
-	sets     [][]line
+	tags     []uint64 // nsets*ways, set-major; invalidTag = empty way
+	lastUse  []uint64 // parallel to tags
+	dirty    []bool   // parallel to tags
+	nsets    int
 	setMask  uint64
 	lineBits uint
 	useClock uint64
@@ -113,11 +117,14 @@ func New(cfg Config) *Cache {
 	nsets := cfg.Sets()
 	c := &Cache{
 		cfg:     cfg,
-		sets:    make([][]line, nsets),
+		tags:    make([]uint64, nsets*cfg.Ways),
+		lastUse: make([]uint64, nsets*cfg.Ways),
+		dirty:   make([]bool, nsets*cfg.Ways),
+		nsets:   nsets,
 		setMask: uint64(nsets - 1),
 	}
-	for i := range c.sets {
-		c.sets[i] = make([]line, cfg.Ways)
+	for i := range c.tags {
+		c.tags[i] = invalidTag
 	}
 	for lb := cfg.LineBytes; lb > 1; lb >>= 1 {
 		c.lineBits++
@@ -139,11 +146,18 @@ func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
 	return blk & c.setMask, blk >> 0
 }
 
+// ways returns the tag slice of one set (length = associativity).
+func (c *Cache) ways(set uint64) (base int, tags []uint64) {
+	base = int(set) * c.cfg.Ways
+	return base, c.tags[base : base+c.cfg.Ways]
+}
+
 // Lookup probes for addr without changing replacement or dirty state.
 func (c *Cache) Lookup(addr uint64) bool {
 	set, tag := c.index(addr)
-	for i := range c.sets[set] {
-		if c.sets[set][i].valid && c.sets[set][i].tag == tag {
+	_, tags := c.ways(set)
+	for _, t := range tags {
+		if t == tag {
 			return true
 		}
 	}
@@ -165,13 +179,13 @@ func (c *Cache) Access(addr uint64, kind AccessKind) (hit bool, victim Victim, e
 	c.stats.Accesses++
 	c.useClock++
 	set, tag := c.index(addr)
-	lines := c.sets[set]
-	for i := range lines {
-		if lines[i].valid && lines[i].tag == tag {
+	base, tags := c.ways(set)
+	for i, t := range tags {
+		if t == tag {
 			c.stats.Hits++
-			lines[i].lastUse = c.useClock
+			c.lastUse[base+i] = c.useClock
 			if kind == Store {
-				lines[i].dirty = true
+				c.dirty[base+i] = true
 			}
 			return true, Victim{}, false
 		}
@@ -187,9 +201,10 @@ func (c *Cache) Access(addr uint64, kind AccessKind) (hit bool, victim Victim, e
 func (c *Cache) Fill(addr uint64) (victim Victim, evicted bool) {
 	c.useClock++
 	set, tag := c.index(addr)
-	for i := range c.sets[set] {
-		if c.sets[set][i].valid && c.sets[set][i].tag == tag {
-			c.sets[set][i].lastUse = c.useClock
+	base, tags := c.ways(set)
+	for i, t := range tags {
+		if t == tag {
+			c.lastUse[base+i] = c.useClock
 			return Victim{}, false
 		}
 	}
@@ -204,13 +219,13 @@ func (c *Cache) WritebackInto(addr uint64) (wasPresent, wasDirty bool, victim Vi
 	c.stats.Accesses++
 	c.useClock++
 	set, tag := c.index(addr)
-	lines := c.sets[set]
-	for i := range lines {
-		if lines[i].valid && lines[i].tag == tag {
+	base, tags := c.ways(set)
+	for i, t := range tags {
+		if t == tag {
 			c.stats.Hits++
-			wasDirty = lines[i].dirty
-			lines[i].dirty = true
-			lines[i].lastUse = c.useClock
+			wasDirty = c.dirty[base+i]
+			c.dirty[base+i] = true
+			c.lastUse[base+i] = c.useClock
 			return true, wasDirty, Victim{}, false
 		}
 	}
@@ -222,31 +237,31 @@ func (c *Cache) WritebackInto(addr uint64) (wasPresent, wasDirty bool, victim Vi
 
 // allocate installs (set, tag), evicting the LRU way if necessary.
 func (c *Cache) allocate(set, tag uint64, dirty bool) (victim Victim, evicted bool) {
-	lines := c.sets[set]
-	way := -1
-	for i := range lines {
-		if !lines[i].valid {
-			way = i
+	base, tags := c.ways(set)
+	lu := c.lastUse[base : base+len(tags)]
+	way, oldest, empty := 0, ^uint64(0), false
+	for i, t := range tags {
+		if t == invalidTag {
+			way, empty = i, true
 			break
 		}
-	}
-	if way < 0 {
-		oldest := ^uint64(0)
-		for i := range lines {
-			if lines[i].lastUse < oldest {
-				oldest = lines[i].lastUse
-				way = i
-			}
+		if lu[i] < oldest {
+			oldest = lu[i]
+			way = i
 		}
-		v := lines[way]
+	}
+	if !empty {
+		vDirty := c.dirty[base+way]
 		c.stats.Evictions++
-		if v.dirty {
+		if vDirty {
 			c.stats.Writebacks++
 		}
-		victim = Victim{Addr: c.reconstruct(set, v.tag), Dirty: v.dirty}
+		victim = Victim{Addr: c.reconstruct(set, tags[way]), Dirty: vDirty}
 		evicted = true
 	}
-	lines[way] = line{tag: tag, valid: true, dirty: dirty, lastUse: c.useClock}
+	tags[way] = tag
+	c.dirty[base+way] = dirty
+	c.lastUse[base+way] = c.useClock
 	return victim, evicted
 }
 
@@ -262,13 +277,15 @@ func (c *Cache) reconstruct(set, tag uint64) uint64 {
 // can drain them (used at simulation end to account in-flight dirt).
 func (c *Cache) Flush() []Victim {
 	var dirty []Victim
-	for set := range c.sets {
-		for i := range c.sets[set] {
-			l := &c.sets[set][i]
-			if l.valid && l.dirty {
-				dirty = append(dirty, Victim{Addr: c.reconstruct(uint64(set), l.tag), Dirty: true})
+	for set := 0; set < c.nsets; set++ {
+		base, tags := c.ways(uint64(set))
+		for i, t := range tags {
+			if t != invalidTag && c.dirty[base+i] {
+				dirty = append(dirty, Victim{Addr: c.reconstruct(uint64(set), t), Dirty: true})
 			}
-			*l = line{}
+			tags[i] = invalidTag
+			c.dirty[base+i] = false
+			c.lastUse[base+i] = 0
 		}
 	}
 	return dirty

@@ -164,44 +164,52 @@ func (h *Hierarchy) Instructions() uint64 { return h.insts }
 // writebacks level by level. Instruction fetches pass ifetch=true.
 func (h *Hierarchy) Access(core int, addr uint64, kind AccessKind, ifetch bool) Result {
 	var r Result
+	h.AccessInto(core, addr, kind, ifetch, &r)
+	return r
+}
+
+// AccessInto is Access writing into a caller-owned Result, for hot paths
+// that recycle the (fairly large) struct instead of copying it up the
+// stack. *r is fully overwritten.
+func (h *Hierarchy) AccessInto(core int, addr uint64, kind AccessKind, ifetch bool, r *Result) {
+	*r = Result{}
 	l1 := h.l1d[core]
 	if ifetch {
 		l1 = h.l1i[core]
 	}
-	r.Latency = l1.Config().HitLatency
+	r.Latency = l1.cfg.HitLatency
 
 	hit, victim, evicted := l1.Access(addr, kind)
 	if evicted && victim.Dirty {
-		h.writebackToL2(core, victim.Addr, &r)
+		h.writebackToL2(core, victim.Addr, r)
 	}
 	if hit {
 		r.Hit = InL1
-		return r
+		return
 	}
 
 	l2 := h.l2[core]
-	r.Latency += l2.Config().HitLatency
+	r.Latency += l2.cfg.HitLatency
 	hit2, v2, ev2 := l2.Access(addr, Load) // fills below L1 are clean
 	if ev2 && v2.Dirty {
-		h.writebackToLLC(v2.Addr, &r)
+		h.writebackToLLC(v2.Addr, r)
 	}
 	if hit2 {
 		r.Hit = InL2
-		return r
+		return
 	}
 
-	r.Latency += h.llc.Config().HitLatency
+	r.Latency += h.llc.cfg.HitLatency
 	hit3, v3, ev3 := h.llc.Access(addr, Load)
 	if ev3 && v3.Dirty {
-		h.memWrite(v3.Addr, &r)
+		h.memWrite(v3.Addr, r)
 	}
 	if hit3 {
 		r.Hit = InLLC
-		return r
+		return
 	}
 	r.Hit = InMemory
 	r.MemReadAddr = h.llc.lineAddr(addr)
-	return r
 }
 
 // writebackToL2 pushes an L1 dirty victim into the core's L2.

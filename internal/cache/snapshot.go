@@ -18,22 +18,24 @@ func (c *Cache) Snapshot(w *snapshot.Writer) {
 	w.U64(c.stats.Misses)
 	w.U64(c.stats.Evictions)
 	w.U64(c.stats.Writebacks)
-	w.U32(uint32(len(c.sets)))
+	w.U32(uint32(c.nsets))
 	w.U32(uint32(c.cfg.Ways))
-	for set := range c.sets {
-		for i := range c.sets[set] {
-			l := &c.sets[set][i]
-			var flags uint8
-			if l.valid {
-				flags |= 1
-			}
-			if l.dirty {
-				flags |= 2
-			}
-			w.U8(flags)
-			w.U64(l.tag)
-			w.U64(l.lastUse)
+	// Invalid ways encode as all-zero (flags 0, tag 0, stamp 0), exactly
+	// as the former padded-struct layout serialized them, so the blob
+	// stays byte-identical across the storage-layout change.
+	for i, t := range c.tags {
+		var flags uint8
+		if t != invalidTag {
+			flags |= 1
+		} else {
+			t = 0
 		}
+		if c.dirty[i] {
+			flags |= 2
+		}
+		w.U8(flags)
+		w.U64(t)
+		w.U64(c.lastUse[i])
 	}
 }
 
@@ -46,25 +48,25 @@ func (c *Cache) Restore(r *snapshot.Reader) {
 	c.stats.Misses = r.U64()
 	c.stats.Evictions = r.U64()
 	c.stats.Writebacks = r.U64()
-	if sets := r.U32(); r.Err() == nil && int(sets) != len(c.sets) {
-		r.Fail("cache %s: snapshot has %d sets, live cache %d", c.cfg.Name, sets, len(c.sets))
+	if sets := r.U32(); r.Err() == nil && int(sets) != c.nsets {
+		r.Fail("cache %s: snapshot has %d sets, live cache %d", c.cfg.Name, sets, c.nsets)
 		return
 	}
 	if ways := r.U32(); r.Err() == nil && int(ways) != c.cfg.Ways {
 		r.Fail("cache %s: snapshot has %d ways, live cache %d", c.cfg.Name, ways, c.cfg.Ways)
 		return
 	}
-	for set := range c.sets {
-		for i := range c.sets[set] {
-			l := &c.sets[set][i]
-			flags := r.U8()
-			l.valid = flags&1 != 0
-			l.dirty = flags&2 != 0
-			l.tag = r.U64()
-			l.lastUse = r.U64()
-			if r.Err() != nil {
-				return
-			}
+	for i := range c.tags {
+		flags := r.U8()
+		tag := r.U64()
+		if flags&1 == 0 {
+			tag = invalidTag
+		}
+		c.tags[i] = tag
+		c.dirty[i] = flags&2 != 0
+		c.lastUse[i] = r.U64()
+		if r.Err() != nil {
+			return
 		}
 	}
 }

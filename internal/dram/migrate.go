@@ -87,10 +87,13 @@ type Migrator struct {
 	copiesInFlight int
 
 	// Copy reads / writebacks rejected by a full PCM queue park here and
-	// drain on the controller's space notifications.
+	// drain on the controller's space notifications. The notification
+	// callbacks are bound once per (kind, channel) at construction, so
+	// re-arming allocates nothing.
 	parkedReads  [][]*memctrl.Request
 	parkedWrites [][]*memctrl.Request
-	parkArmed    [2][]bool // [read, write][channel]
+	parkArmed    [2][]bool                    // [read, write][channel]
+	parkCB       [2][]func(now timing.Time)   // [read, write][channel]
 	parkedWB     int
 
 	// funcWrite completes a demotion writeback instantly in functional
@@ -140,6 +143,19 @@ func NewMigrator(cfg MigrationConfig, ctl *memctrl.Controller, dev *Device,
 	}
 	m.parkArmed[0] = make([]bool, pcmCfg.Channels)
 	m.parkArmed[1] = make([]bool, pcmCfg.Channels)
+	m.parkCB[0] = make([]func(timing.Time), pcmCfg.Channels)
+	m.parkCB[1] = make([]func(timing.Time), pcmCfg.Channels)
+	for ch := 0; ch < pcmCfg.Channels; ch++ {
+		ch := ch
+		m.parkCB[0][ch] = func(now timing.Time) {
+			m.parkArmed[0][ch] = false
+			m.drainParked(memctrl.ReadReq, ch)
+		}
+		m.parkCB[1][ch] = func(now timing.Time) {
+			m.parkArmed[1][ch] = false
+			m.drainParked(memctrl.WriteReq, ch)
+		}
+	}
 	return m, nil
 }
 
@@ -478,10 +494,7 @@ func (m *Migrator) armPark(kind memctrl.RequestKind, ch int) {
 		return
 	}
 	m.parkArmed[idx][ch] = true
-	m.ctl.OnSpace(kind, ch, func(now timing.Time) {
-		m.parkArmed[idx][ch] = false
-		m.drainParked(kind, ch)
-	})
+	m.ctl.OnSpace(kind, ch, m.parkCB[idx][ch])
 }
 
 func (m *Migrator) drainParked(kind memctrl.RequestKind, ch int) {
@@ -506,15 +519,24 @@ func (m *Migrator) drainParked(kind memctrl.RequestKind, ch int) {
 
 // --- pools and LRU list ---
 
+// poolSlab batches pool-object allocation: when a free list runs dry it
+// is refilled with one backing-array allocation instead of one per
+// object, so even workloads whose in-flight population keeps growing
+// (promotion bursts against a full PCM queue) allocate O(1/slab) per
+// acquisition.
+const poolSlab = 64
+
 func (m *Migrator) acquireEntry() *pageEntry {
-	var e *pageEntry
-	if n := len(m.entryFree); n > 0 {
-		e = m.entryFree[n-1]
-		m.entryFree[n-1] = nil
-		m.entryFree = m.entryFree[:n-1]
-	} else {
-		e = &pageEntry{}
+	if len(m.entryFree) == 0 {
+		slab := make([]pageEntry, poolSlab)
+		for i := range slab {
+			m.entryFree = append(m.entryFree, &slab[i])
+		}
 	}
+	n := len(m.entryFree)
+	e := m.entryFree[n-1]
+	m.entryFree[n-1] = nil
+	m.entryFree = m.entryFree[:n-1]
 	e.page, e.dirty, e.writes = 0, 0, 0
 	e.prev, e.next = nil, nil
 	return e
@@ -526,15 +548,21 @@ func (m *Migrator) releaseEntry(e *pageEntry) {
 }
 
 func (m *Migrator) acquireCopy(addr uint64) *copyOp {
-	var op *copyOp
-	if n := len(m.copyFree); n > 0 {
-		op = m.copyFree[n-1]
-		m.copyFree[n-1] = nil
-		m.copyFree = m.copyFree[:n-1]
-	} else {
-		op = &copyOp{m: m}
-		op.fn = func(t timing.Time) { op.complete(t) }
+	if len(m.copyFree) == 0 {
+		slab := make([]copyOp, poolSlab)
+		for i := range slab {
+			op := &slab[i]
+			op.m = m
+			// Bound once per pooled object, reused across its whole
+			// recycled lifetime.
+			op.fn = func(t timing.Time) { op.complete(t) }
+			m.copyFree = append(m.copyFree, op)
+		}
 	}
+	n := len(m.copyFree)
+	op := m.copyFree[n-1]
+	m.copyFree[n-1] = nil
+	m.copyFree = m.copyFree[:n-1]
 	op.addr = addr
 	return op
 }

@@ -2,6 +2,7 @@ package memctrl
 
 import (
 	"fmt"
+	"math/bits"
 
 	"rrmpcm/internal/pcm"
 	"rrmpcm/internal/timing"
@@ -40,11 +41,19 @@ func New(cfg Config, amap *pcm.AddressMap, eq *timing.EventQueue, rec Recorder) 
 	c := &Controller{cfg: cfg, amap: amap, eq: eq, rec: rec}
 	dev := amap.Config()
 	for i := 0; i < dev.Channels; i++ {
-		ch := &channel{ctl: c, id: i, banks: make([]bankState, dev.Banks)}
+		ch := &channel{ctl: c, id: i, eq: eq, banks: make([]bankState, dev.Banks),
+			bankFree: make([]timing.Time, dev.Banks)}
+		if dev.Banks > 64 {
+			ch.wideBanks = true
+		} else {
+			ch.bankMaskAll = ^uint64(0) >> (64 - uint(dev.Banks))
+		}
 		ch.queues[ReadReq] = make([]*Request, 0, cfg.ReadQueueCap)
 		ch.queues[WriteReq] = make([]*Request, 0, cfg.WriteQueueCap)
 		ch.queues[RefreshReq] = make([]*Request, 0, cfg.RefreshQueueCap)
 		ch.readsPerBank = make([]int32, dev.Banks)
+		ch.writesPerBank = make([]int32, dev.Banks)
+		ch.refreshPerBank = make([]int32, dev.Banks)
 		if cfg.ReadForwarding {
 			ch.blockWrites = make(map[uint64]int32, cfg.WriteQueueCap+cfg.RefreshQueueCap)
 		}
@@ -60,6 +69,27 @@ func New(cfg Config, amap *pcm.AddressMap, eq *timing.EventQueue, rec Recorder) 
 
 // Config returns the controller configuration.
 func (c *Controller) Config() Config { return c.cfg }
+
+// SetShardQueues switches the controller to the sharded execution
+// engine: channel i schedules its events (completions, pauses, space
+// deliveries) on qs[i] — several channels may share one queue when a
+// shard covers more than one channel — and replaces the armWakeup
+// re-scan with an incremental per-channel timer slot: the scheduler
+// scans record the earliest instant any blocked request could start,
+// and the wakeup is re-aimed with a single store instead of a
+// Cancel+Schedule heap round-trip. Must be called before any traffic;
+// the serial engine (without this call) is byte-frozen, including its
+// event and snapshot stream.
+func (c *Controller) SetShardQueues(qs []*timing.EventQueue) {
+	if len(qs) != len(c.chans) {
+		panic(fmt.Sprintf("memctrl: %d shard queues for %d channels", len(qs), len(c.chans)))
+	}
+	for i, ch := range c.chans {
+		ch.eq = qs[i]
+		ch.fast = true
+		ch.timer = qs[i].NewTimer(ch.wakeupFn)
+	}
+}
 
 // SetReadIntegrity installs the demand-read ECC hook. Must be called
 // before the simulation starts; nil leaves reads uninspected.
@@ -82,18 +112,25 @@ func (c *Controller) QueueLen(channel int, kind RequestKind) int {
 // pointer past that point. Requests built with plain &Request{} remain
 // fully supported and are never recycled.
 func (c *Controller) AcquireRequest() *Request {
-	var r *Request
-	if n := len(c.reqFree); n > 0 {
-		r = c.reqFree[n-1]
-		c.reqFree[n-1] = nil
-		c.reqFree = c.reqFree[:n-1]
-	} else {
-		r = &Request{ctl: c, pooled: true}
-		// Bind the read-completion callback once per pooled object; it
-		// is reused across the request's whole recycled lifetime, so
+	if len(c.reqFree) == 0 {
+		// Refill the pool a slab at a time: one backing allocation per
+		// 64 objects keeps acquisition cheap even when the in-flight
+		// population grows (e.g. migration bursts parking against full
+		// queues). The completion callback is bound once per pooled
+		// object and reused across its whole recycled lifetime, so
 		// steady-state reads schedule no new closures.
-		r.doneFn = func(t timing.Time) { r.finishRead(t) }
+		slab := make([]Request, 64)
+		for i := range slab {
+			r := &slab[i]
+			r.ctl, r.pooled = c, true
+			r.doneFn = func(t timing.Time) { r.finishRead(t) }
+			c.reqFree = append(c.reqFree, r)
+		}
 	}
+	n := len(c.reqFree)
+	r := c.reqFree[n-1]
+	c.reqFree[n-1] = nil
+	c.reqFree = c.reqFree[:n-1]
 	r.Kind, r.Addr, r.Mode, r.Wear, r.OnDone = 0, 0, 0, 0, nil
 	r.forwarded = false
 	r.OwnerCore, r.OwnerStore, r.OwnerInst = OwnerNone, false, 0
@@ -159,7 +196,7 @@ func (c *Controller) Pending() bool {
 			}
 		}
 		for i := range ch.banks {
-			if ch.banks[i].wr != nil || ch.banks[i].freeAt > c.eq.Now() {
+			if ch.banks[i].wr != nil || ch.bankFree[i] > c.eq.Now() {
 				return true
 			}
 		}
@@ -189,12 +226,12 @@ func (c *Controller) TryEnqueue(req *Request) bool {
 		if req.pooled {
 			req.forwarded = true
 			done := now + lat
-			c.trackFlight(req, done, c.eq.Schedule(done, req.doneFn).Seq())
+			c.trackFlight(req, done, ch.eq.Schedule(done, req.doneFn).Seq())
 			return true
 		}
 		done := req.OnDone
 		addr := req.Addr
-		c.eq.Schedule(now+lat, func(t timing.Time) {
+		ch.eq.Schedule(now+lat, func(t timing.Time) {
 			c.rec.RecordRead(addr)
 			if done != nil {
 				done(t)
@@ -215,7 +252,16 @@ func (c *Controller) TryEnqueue(req *Request) bool {
 		// scheduling scan.
 		req.rowTag = c.amap.RowBufferTag(req.Addr)
 		ch.readsPerBank[req.loc.Bank]++
+		ch.readsMask |= 1 << uint(req.loc.Bank)
+	case WriteReq:
+		ch.writesPerBank[req.loc.Bank]++
+		ch.writesMask |= 1 << uint(req.loc.Bank)
+		if ch.blockWrites != nil {
+			ch.blockWrites[req.Addr&^63]++
+		}
 	default:
+		ch.refreshPerBank[req.loc.Bank]++
+		ch.refreshMask |= 1 << uint(req.loc.Bank)
 		if ch.blockWrites != nil {
 			ch.blockWrites[req.Addr&^63]++
 		}
@@ -258,8 +304,11 @@ func (c *Controller) noteOccupancy(ch *channel) {
 
 // --- channel ---
 
+// bankState holds per-bank row-buffer and write-occupancy state. The
+// bank's busy horizon lives in channel.bankFree — a dense parallel
+// array — so the wakeup scan over all banks touches two cache lines
+// instead of one padded struct per bank.
 type bankState struct {
-	freeAt  timing.Time
 	openTag uint64
 	hasOpen bool
 	wr      *inflightWrite // in-flight (possibly paused) write occupying the bank
@@ -330,8 +379,53 @@ type channel struct {
 	ctl *Controller
 	id  int
 
+	// eq is the event queue this channel schedules on: the controller's
+	// global queue in the serial engine, the channel's shard queue under
+	// SetShardQueues. Both share the simulation clock.
+	eq *timing.EventQueue
+
+	// fast selects the sharded engine's wakeup bookkeeping; timer is its
+	// per-channel deadline slot (replaces the wakeupEv heap event).
+	fast  bool
+	timer *timing.Timer
+
+	// Bank bitmasks, valid when the channel has at most 64 banks
+	// (wideBanks false; wider geometries fall back to linear scans).
+	// pausedMask, pausableMask and wrMask are exact: banks whose
+	// in-flight write is paused, still pausable (active, no pause
+	// pending), respectively present at all. busyMask over-approximates
+	// the banks with bankFree in the future between kicks and is pruned
+	// exact at kick entry — time stands still inside a kick, so it stays
+	// exact through every tryStart iteration and the queue scans reduce
+	// to one bit test per entry.
+	pausedMask   uint64
+	pausableMask uint64
+	busyMask     uint64
+	wrMask       uint64
+	bankMaskAll  uint64
+	wideBanks    bool
+
+	// Queue-occupancy masks (narrow geometries only): banks with at
+	// least one queued read / write / refresh. Intersected with the
+	// free-bank masks they answer "can any queued transaction start?"
+	// in O(1), so a kick whose scan would find nothing never walks the
+	// queues at all.
+	readsMask   uint64
+	writesMask  uint64
+	refreshMask uint64
+
+	// writesPerBank/refreshPerBank mirror readsPerBank for the other two
+	// queues; they exist to clear the occupancy masks exactly.
+	writesPerBank  []int32
+	refreshPerBank []int32
+
 	queues [numKinds][]*Request
 	banks  []bankState
+
+	// bankFree[i] is the instant bank i's current transaction releases
+	// it (bankState's former freeAt field, split out so the armWakeup
+	// min-scan reads a dense timestamp array).
+	bankFree []timing.Time
 
 	// readsPerBank counts queued reads per bank, so resume decisions
 	// (readWaitingFor) are O(1) instead of a read-queue scan.
@@ -349,6 +443,7 @@ type channel struct {
 	wrFree []*inflightWrite // recycled inflight writes
 
 	spaceWaiters [numKinds][]func(now timing.Time)
+	waiterSpare  [numKinds][]func(now timing.Time) // recycled delivery arrays
 	wakeupAt     timing.Time
 	wakeupEv     timing.EventRef
 	wakeupFn     func(now timing.Time) // bound once: wakeup
@@ -363,32 +458,54 @@ func (ch *channel) forwards(addr uint64) bool {
 // kick starts every transaction that can begin now, then arms a wakeup
 // for the earliest future opportunity.
 func (ch *channel) kick(now timing.Time) {
+	if !ch.wideBanks {
+		// Prune busyMask exact once per kick: no time passes inside the
+		// tryStart loop, so a bit cleared here stays clear and a start
+		// re-sets its own bit, keeping the mask exact throughout.
+		for m := ch.busyMask; m != 0; m &= m - 1 {
+			i := bits.TrailingZeros64(m)
+			if ch.bankFree[i] <= now {
+				ch.busyMask &^= 1 << uint(i)
+			}
+		}
+	}
 	for ch.tryStart(now) {
 	}
 	ch.armWakeup(now)
 }
 
 // bankFreeForRead: the bank is idle, or holds only a paused write.
-func (ch *channel) bankFreeForRead(b *bankState, now timing.Time) bool {
-	return b.freeAt <= now && (b.wr == nil || b.wr.paused)
+func (ch *channel) bankFreeForRead(bank int, now timing.Time) bool {
+	wr := ch.banks[bank].wr
+	return ch.bankFree[bank] <= now && (wr == nil || wr.paused)
 }
 
 // bankFreeForWrite: the bank is idle with no in-flight write at all.
-func (ch *channel) bankFreeForWrite(b *bankState, now timing.Time) bool {
-	return b.freeAt <= now && b.wr == nil
+func (ch *channel) bankFreeForWrite(bank int, now timing.Time) bool {
+	return ch.bankFree[bank] <= now && ch.banks[bank].wr == nil
 }
 
 // tryStart attempts to begin one transaction; it returns true if a bank
-// was newly occupied (so the caller loops).
+// was newly occupied (so the caller loops). The mask path relies on
+// busyMask being exact (kick prunes it on entry): a queue entry's bank
+// eligibility is one bit test instead of per-entry bank-state loads.
 func (ch *channel) tryStart(now timing.Time) bool {
 	ch.updateDrainMode()
+	if ch.wideBanks {
+		return ch.tryStartWide(now)
+	}
+
+	freeWrite := ^(ch.busyMask | ch.wrMask) & ch.bankMaskAll
+	freeRead := ^ch.busyMask & (^ch.wrMask | ch.pausedMask) & ch.bankMaskAll
 
 	// Refresh queue: highest priority (hard retention deadline).
-	for i, r := range ch.queues[RefreshReq] {
-		if ch.bankFreeForWrite(&ch.banks[r.loc.Bank], now) {
-			ch.dequeue(RefreshReq, i, now)
-			ch.startWrite(r, now)
-			return true
+	if freeWrite&ch.refreshMask != 0 {
+		for i, r := range ch.queues[RefreshReq] {
+			if freeWrite&(1<<uint(r.loc.Bank)) != 0 {
+				ch.dequeue(RefreshReq, i, now)
+				ch.startWrite(r, now)
+				return true
+			}
 		}
 	}
 
@@ -396,6 +513,57 @@ func (ch *channel) tryStart(now timing.Time) bool {
 		// Drain mode: writes own the channel until the queue falls to
 		// the low watermark; reads may still slip onto idle banks no
 		// write wants.
+		if ch.tryResume(now, false) || ch.tryWriteMask(now, freeWrite) {
+			return true
+		}
+		if idx := ch.pickReadMask(now, freeRead); idx >= 0 {
+			r := ch.queues[ReadReq][idx]
+			ch.dequeue(ReadReq, idx, now)
+			ch.startRead(r, now)
+			return true
+		}
+		return false
+	}
+
+	// Normal mode: reads first (FR-FCFS), pausing in-flight writes.
+	if idx := ch.pickReadMask(now, freeRead); idx >= 0 {
+		r := ch.queues[ReadReq][idx]
+		ch.dequeue(ReadReq, idx, now)
+		ch.startRead(r, now)
+		return true
+	}
+	// The pause-request sweep only matters while some write is still
+	// pausable; pausableMask tracks exactly that, so the common
+	// no-writes-in-flight kick skips the read-queue walk entirely.
+	if ch.ctl.cfg.WritePausing && ch.pausableMask&ch.readsMask != 0 {
+		for _, r := range ch.queues[ReadReq] {
+			if ch.pausableMask&(1<<uint(r.loc.Bank)) != 0 {
+				ch.requestPause(ch.banks[r.loc.Bank].wr, now)
+				if ch.pausableMask == 0 {
+					break
+				}
+			}
+		}
+	}
+	if ch.tryResume(now, true) {
+		return true
+	}
+	return ch.tryWriteMask(now, freeWrite)
+}
+
+// tryStartWide is tryStart for geometries beyond 64 banks per channel,
+// where the bitmasks cannot cover the bank set and every check reads
+// bank state directly.
+func (ch *channel) tryStartWide(now timing.Time) bool {
+	for i, r := range ch.queues[RefreshReq] {
+		if ch.bankFreeForWrite(r.loc.Bank, now) {
+			ch.dequeue(RefreshReq, i, now)
+			ch.startWrite(r, now)
+			return true
+		}
+	}
+
+	if ch.draining {
 		if ch.tryResume(now, false) || ch.tryWrite(now) {
 			return true
 		}
@@ -408,7 +576,6 @@ func (ch *channel) tryStart(now timing.Time) bool {
 		return false
 	}
 
-	// Normal mode: reads first (FR-FCFS), pausing in-flight writes.
 	if idx := ch.pickRead(now); idx >= 0 {
 		r := ch.queues[ReadReq][idx]
 		ch.dequeue(ReadReq, idx, now)
@@ -443,9 +610,25 @@ func (ch *channel) updateDrainMode() {
 // tryResume restarts one paused write on a free bank. Outside drain mode
 // a waiting read keeps the write paused (respectReads).
 func (ch *channel) tryResume(now timing.Time, respectReads bool) bool {
+	if !ch.wideBanks {
+		// Paused writes on non-busy banks (a read may occupy a paused
+		// bank, which is what busyMask excludes), minus banks a queued
+		// read still wants when reads have priority; TrailingZeros picks
+		// the lowest bank, matching the linear scan's order.
+		m := ch.pausedMask &^ ch.busyMask
+		if respectReads {
+			m &^= ch.readsMask
+		}
+		if m != 0 {
+			i := bits.TrailingZeros64(m)
+			ch.resumeWrite(ch.banks[i].wr, now)
+			return true
+		}
+		return false
+	}
 	for i := range ch.banks {
 		b := &ch.banks[i]
-		if b.wr != nil && b.wr.paused && b.freeAt <= now &&
+		if b.wr != nil && b.wr.paused && ch.bankFree[i] <= now &&
 			(!respectReads || ch.readsPerBank[i] == 0) {
 			ch.resumeWrite(b.wr, now)
 			return true
@@ -457,7 +640,25 @@ func (ch *channel) tryResume(now timing.Time, respectReads bool) bool {
 // tryWrite starts the oldest startable demand write.
 func (ch *channel) tryWrite(now timing.Time) bool {
 	for i, r := range ch.queues[WriteReq] {
-		if ch.bankFreeForWrite(&ch.banks[r.loc.Bank], now) {
+		if ch.bankFreeForWrite(r.loc.Bank, now) {
+			ch.dequeue(WriteReq, i, now)
+			ch.startWrite(r, now)
+			return true
+		}
+	}
+	return false
+}
+
+// tryWriteMask is tryWrite against a precomputed free-for-write mask.
+// Intersecting with writesMask makes the no-startable-write case O(1):
+// the queue walk only runs when it is guaranteed to start something.
+func (ch *channel) tryWriteMask(now timing.Time, freeWrite uint64) bool {
+	freeWrite &= ch.writesMask
+	if freeWrite == 0 {
+		return false
+	}
+	for i, r := range ch.queues[WriteReq] {
+		if freeWrite&(1<<uint(r.loc.Bank)) != 0 {
 			ch.dequeue(WriteReq, i, now)
 			ch.startWrite(r, now)
 			return true
@@ -479,9 +680,34 @@ func (ch *channel) pickRead(now timing.Time) int {
 	oldest := -1
 	for i, r := range q {
 		b := &ch.banks[r.loc.Bank]
-		if !ch.bankFreeForRead(b, now) {
+		if !ch.bankFreeForRead(r.loc.Bank, now) {
 			continue
 		}
+		if b.hasOpen && b.openTag == r.rowTag {
+			return i // row-buffer hit wins immediately (queue is FIFO-ordered)
+		}
+		if oldest < 0 && actOK {
+			oldest = i
+		}
+	}
+	return oldest
+}
+
+// pickReadMask is pickRead against a precomputed free-for-read mask.
+// Intersecting with readsMask makes the no-serviceable-read case O(1).
+func (ch *channel) pickReadMask(now timing.Time, freeRead uint64) int {
+	freeRead &= ch.readsMask
+	if freeRead == 0 {
+		return -1
+	}
+	q := ch.queues[ReadReq]
+	actOK := ch.actAllowedAt(now) <= now
+	oldest := -1
+	for i, r := range q {
+		if freeRead&(1<<uint(r.loc.Bank)) == 0 {
+			continue
+		}
+		b := &ch.banks[r.loc.Bank]
 		if b.hasOpen && b.openTag == r.rowTag {
 			return i // row-buffer hit wins immediately (queue is FIFO-ordered)
 		}
@@ -507,6 +733,19 @@ func (ch *channel) recordACT(t timing.Time) {
 	ch.actIdx = (ch.actIdx + 1) % len(ch.actTimes)
 }
 
+// dropBlockWrite decrements the read-forwarding block index.
+func (ch *channel) dropBlockWrite(addr uint64) {
+	if ch.blockWrites == nil {
+		return
+	}
+	blk := addr &^ 63
+	if n := ch.blockWrites[blk] - 1; n > 0 {
+		ch.blockWrites[blk] = n
+	} else {
+		delete(ch.blockWrites, blk)
+	}
+}
+
 // dequeue removes index i of the given queue, maintains the per-bank and
 // per-block indexes, and wakes space waiters.
 func (ch *channel) dequeue(kind RequestKind, i int, now timing.Time) {
@@ -514,29 +753,39 @@ func (ch *channel) dequeue(kind RequestKind, i int, now timing.Time) {
 	r := q[i]
 	switch kind {
 	case ReadReq:
-		ch.readsPerBank[r.loc.Bank]--
-	default:
-		if ch.blockWrites != nil {
-			blk := r.Addr &^ 63
-			if n := ch.blockWrites[blk] - 1; n > 0 {
-				ch.blockWrites[blk] = n
-			} else {
-				delete(ch.blockWrites, blk)
-			}
+		if ch.readsPerBank[r.loc.Bank]--; ch.readsPerBank[r.loc.Bank] == 0 {
+			ch.readsMask &^= 1 << uint(r.loc.Bank)
 		}
+	case WriteReq:
+		if ch.writesPerBank[r.loc.Bank]--; ch.writesPerBank[r.loc.Bank] == 0 {
+			ch.writesMask &^= 1 << uint(r.loc.Bank)
+		}
+		ch.dropBlockWrite(r.Addr)
+	default:
+		if ch.refreshPerBank[r.loc.Bank]--; ch.refreshPerBank[r.loc.Bank] == 0 {
+			ch.refreshMask &^= 1 << uint(r.loc.Bank)
+		}
+		ch.dropBlockWrite(r.Addr)
 	}
 	copy(q[i:], q[i+1:])
 	q[len(q)-1] = nil
 	ch.queues[kind] = q[:len(q)-1]
 	if len(ch.spaceWaiters[kind]) > 0 && len(ch.queues[kind]) < ch.ctl.queueCap(kind) {
 		waiters := ch.spaceWaiters[kind]
-		ch.spaceWaiters[kind] = nil
+		// Hand the registration list a recycled backing array (the one
+		// the previous delivery finished with) so OnSpace appends stop
+		// allocating in steady state; the captured slice is owned
+		// exclusively by its delivery event.
+		ch.spaceWaiters[kind] = ch.waiterSpare[kind]
+		ch.waiterSpare[kind] = nil
 		// Deliver on a fresh event: waiters re-enqueue requests, which
 		// must not re-enter the scheduler while it is mid-scan.
-		ch.ctl.eq.Schedule(now, func(t timing.Time) {
-			for _, fn := range waiters {
+		ch.eq.Schedule(now, func(t timing.Time) {
+			for i, fn := range waiters {
+				waiters[i] = nil
 				fn(t)
 			}
+			ch.waiterSpare[kind] = waiters[:0]
 		})
 	}
 }
@@ -561,7 +810,8 @@ func (ch *channel) startRead(r *Request, now timing.Time) {
 	done := xferStart + cfg.BusXfer
 	ch.busFreeAt = done
 	ch.ctl.stats.BankBusy += done - now
-	b.freeAt = done
+	ch.bankFree[r.loc.Bank] = done
+	ch.busyMask |= 1 << uint(r.loc.Bank)
 
 	// ECC inspection: a correction stall delays data delivery (and counts
 	// against read latency) but the bank and bus are released at transfer
@@ -577,10 +827,10 @@ func (ch *channel) startRead(r *Request, now timing.Time) {
 		ch.ctl.stats.ReadLatencyMax = lat
 	}
 	if r.pooled {
-		ch.ctl.trackFlight(r, done, ch.ctl.eq.Schedule(done, r.doneFn).Seq())
+		ch.ctl.trackFlight(r, done, ch.eq.Schedule(done, r.doneFn).Seq())
 		return
 	}
-	ch.ctl.eq.Schedule(done, func(t timing.Time) {
+	ch.eq.Schedule(done, func(t timing.Time) {
 		ch.ctl.rec.RecordRead(r.Addr)
 		if r.OnDone != nil {
 			r.OnDone(t)
@@ -630,21 +880,26 @@ func (ch *channel) startWrite(r *Request, now timing.Time) {
 	wr.setsLeft = r.Mode.Sets()
 	b.wr = wr
 	done := wr.completionTime()
-	b.freeAt = done
+	ch.bankFree[r.loc.Bank] = done
+	ch.busyMask |= 1 << uint(r.loc.Bank)
+	ch.pausableMask |= 1 << uint(r.loc.Bank)
+	ch.wrMask |= 1 << uint(r.loc.Bank)
 	ch.ctl.stats.BankBusy += done - now
-	wr.completion = ch.ctl.eq.Schedule(done, wr.completeFn)
+	wr.completion = ch.eq.Schedule(done, wr.completeFn)
 }
 
 // resumeWrite restarts a paused write's remaining SET iterations.
 func (ch *channel) resumeWrite(wr *inflightWrite, now timing.Time) {
-	b := &ch.banks[wr.bank]
 	wr.paused = false
+	ch.pausedMask &^= 1 << uint(wr.bank)
+	ch.pausableMask |= 1 << uint(wr.bank)
 	wr.runStart = now
 	wr.runHasReset = false
 	done := wr.completionTime()
-	b.freeAt = done
+	ch.bankFree[wr.bank] = done
+	ch.busyMask |= 1 << uint(wr.bank)
 	ch.ctl.stats.BankBusy += done - now
-	wr.completion = ch.ctl.eq.Schedule(done, wr.completeFn)
+	wr.completion = ch.eq.Schedule(done, wr.completeFn)
 }
 
 // requestPause arranges for wr to pause at its next iteration boundary.
@@ -654,8 +909,9 @@ func (ch *channel) requestPause(wr *inflightWrite, now timing.Time) {
 		return
 	}
 	wr.pausePending = true
+	ch.pausableMask &^= 1 << uint(wr.bank)
 	wr.pauseEvAt = boundary
-	wr.pauseEvSeq = ch.ctl.eq.Schedule(boundary, wr.pauseFn).Seq()
+	wr.pauseEvSeq = ch.eq.Schedule(boundary, wr.pauseFn).Seq()
 }
 
 // pauseAt suspends wr at boundary time t (if it is still running).
@@ -674,13 +930,13 @@ func (ch *channel) pauseAt(wr *inflightWrite, t timing.Time) {
 	if wr.completionTime() <= t {
 		return // completion event at this same instant will handle it
 	}
-	ch.ctl.eq.Cancel(wr.completion)
+	ch.eq.Cancel(wr.completion)
 	wr.completion = timing.EventRef{}
 	wr.setsLeft -= wr.setsDoneBy(t)
 	wr.runHasReset = false
 	wr.paused = true
-	b := &ch.banks[wr.bank]
-	b.freeAt = t
+	ch.pausedMask |= 1 << uint(wr.bank)
+	ch.bankFree[wr.bank] = t
 	ch.ctl.stats.WritePauses++
 	ch.kick(t)
 }
@@ -690,6 +946,8 @@ func (ch *channel) completeWrite(wr *inflightWrite, t timing.Time) {
 	wr.completion = timing.EventRef{}
 	b := &ch.banks[wr.bank]
 	b.wr = nil
+	ch.pausableMask &^= 1 << uint(wr.bank)
+	ch.wrMask &^= 1 << uint(wr.bank)
 	r := wr.req
 	lat := t - r.enqueuedAt
 	if r.Kind == RefreshReq {
@@ -727,7 +985,12 @@ func (ch *channel) wakeup(t timing.Time) {
 }
 
 // armWakeup schedules a re-scan at the earliest future instant any
-// pending work could start.
+// pending work could start. On the sharded engine the wakeup lives in a
+// timer slot instead of a heap event: re-aiming is two stores instead of
+// a Cancel+Schedule sift round-trip, and since Arm draws a sequence
+// number exactly like Schedule, the timer fires in precisely the
+// position the replaced event would have — the serial dispatch order is
+// preserved bit-for-bit.
 func (ch *channel) armWakeup(now timing.Time) {
 	pendingWork := false
 	for _, q := range ch.queues {
@@ -737,10 +1000,14 @@ func (ch *channel) armWakeup(now timing.Time) {
 		}
 	}
 	if !pendingWork {
-		for i := range ch.banks {
-			if ch.banks[i].wr != nil && ch.banks[i].wr.paused {
-				pendingWork = true
-				break
+		if !ch.wideBanks {
+			pendingWork = ch.pausedMask != 0
+		} else {
+			for i := range ch.banks {
+				if ch.banks[i].wr != nil && ch.banks[i].wr.paused {
+					pendingWork = true
+					break
+				}
 			}
 		}
 	}
@@ -748,9 +1015,25 @@ func (ch *channel) armWakeup(now timing.Time) {
 		return
 	}
 	at := timing.Forever
-	for i := range ch.banks {
-		if ch.banks[i].freeAt > now && ch.banks[i].freeAt < at {
-			at = ch.banks[i].freeAt
+	if !ch.wideBanks {
+		// busyMask over-approximates the banks still running; prune
+		// the bits whose transactions already finished as we walk.
+		for m := ch.busyMask; m != 0; m &= m - 1 {
+			i := bits.TrailingZeros64(m)
+			free := ch.bankFree[i]
+			if free <= now {
+				ch.busyMask &^= 1 << uint(i)
+				continue
+			}
+			if free < at {
+				at = free
+			}
+		}
+	} else {
+		for _, free := range ch.bankFree {
+			if free > now && free < at {
+				at = free
+			}
 		}
 	}
 	if t := ch.actAllowedAt(now); t > now && t < at {
@@ -762,14 +1045,22 @@ func (ch *channel) armWakeup(now timing.Time) {
 	if at == timing.Forever {
 		return // everything is free; nothing further will unblock by time alone
 	}
+	if ch.fast {
+		if ch.timer.Armed() && ch.wakeupAt <= at {
+			return // an earlier or equal wakeup is already armed
+		}
+		ch.wakeupAt = at
+		ch.timer.Arm(ch.eq, at)
+		return
+	}
 	if ch.wakeupEv.Valid() {
 		if ch.wakeupAt <= at {
 			return // an earlier or equal wakeup is already armed
 		}
 		// A later wakeup is pending: replace it, or the heap fills
 		// with dead events.
-		ch.ctl.eq.Cancel(ch.wakeupEv)
+		ch.eq.Cancel(ch.wakeupEv)
 	}
 	ch.wakeupAt = at
-	ch.wakeupEv = ch.ctl.eq.Schedule(at, ch.wakeupFn)
+	ch.wakeupEv = ch.eq.Schedule(at, ch.wakeupFn)
 }

@@ -77,7 +77,7 @@ func (c *Controller) Snapshot(w *snapshot.Writer) error {
 		w.U32(uint32(len(ch.banks)))
 		for i := range ch.banks {
 			b := &ch.banks[i]
-			w.I64(int64(b.freeAt))
+			w.I64(int64(ch.bankFree[i]))
 			w.U64(b.openTag)
 			w.Bool(b.hasOpen)
 			w.Bool(b.wr != nil)
@@ -113,10 +113,18 @@ func (c *Controller) Snapshot(w *snapshot.Writer) error {
 				}
 			}
 		}
-		w.Bool(ch.wakeupEv.Valid())
-		if ch.wakeupEv.Valid() {
+		// The wakeup lives in a heap event (serial engine) or a timer slot
+		// (sharded engine); both carry the same (at, seq) position, so the
+		// snapshot bytes are identical whichever engine wrote them.
+		armed := ch.wakeupEv.Valid() || (ch.fast && ch.timer.Armed())
+		w.Bool(armed)
+		if armed {
 			w.I64(int64(ch.wakeupAt))
-			w.I64(ch.wakeupEv.Seq())
+			if ch.fast {
+				w.I64(ch.timer.Seq())
+			} else {
+				w.I64(ch.wakeupEv.Seq())
+			}
 		}
 	}
 	w.U32(uint32(len(c.inflight)))
@@ -143,7 +151,12 @@ func (c *Controller) Restore(r *snapshot.Reader, resolve OwnerResolver, pend *[]
 		return
 	}
 	for _, ch := range c.chans {
+		cch := ch // pinned for the re-arm closures below
 		ch.draining = r.Bool()
+		ch.pausedMask, ch.pausableMask, ch.wrMask = 0, 0, 0
+		// Lazy superset: every bank starts presumed busy; the first
+		// wakeup scan prunes the finished ones.
+		ch.busyMask = ch.bankMaskAll
 		ch.busFreeAt = timing.Time(r.I64())
 		ch.actIdx = int(r.U32())
 		if n := r.U32(); r.Err() == nil && int(n) != len(ch.actTimes) {
@@ -163,7 +176,7 @@ func (c *Controller) Restore(r *snapshot.Reader, resolve OwnerResolver, pend *[]
 		}
 		for i := range ch.banks {
 			b := &ch.banks[i]
-			b.freeAt = timing.Time(r.I64())
+			ch.bankFree[i] = timing.Time(r.I64())
 			b.openTag = r.U64()
 			b.hasOpen = r.Bool()
 			hasWr := r.Bool()
@@ -184,24 +197,33 @@ func (c *Controller) Restore(r *snapshot.Reader, resolve OwnerResolver, pend *[]
 			wr.pausePending = r.Bool()
 			hasCompletion := r.Bool()
 			b.wr = wr
+			ch.wrMask |= 1 << uint(i)
+			if wr.paused {
+				ch.pausedMask |= 1 << uint(i)
+			} else if !wr.pausePending {
+				ch.pausableMask |= 1 << uint(i)
+			}
 			if hasCompletion {
 				seq := r.I64()
 				at := wr.completionTime()
 				*pend = append(*pend, timing.Pending{At: at, Seq: seq, Arm: func() {
-					wr.completion = c.eq.Schedule(at, wr.completeFn)
+					wr.completion = cch.eq.Schedule(at, wr.completeFn)
 				}})
 			}
 			if wr.pausePending {
 				wr.pauseEvAt = timing.Time(r.I64())
 				wr.pauseEvSeq = r.I64()
 				*pend = append(*pend, timing.Pending{At: wr.pauseEvAt, Seq: wr.pauseEvSeq, Arm: func() {
-					wr.pauseEvSeq = c.eq.Schedule(wr.pauseEvAt, wr.pauseFn).Seq()
+					wr.pauseEvSeq = cch.eq.Schedule(wr.pauseEvAt, wr.pauseFn).Seq()
 				}})
 			}
 		}
 		for i := range ch.readsPerBank {
 			ch.readsPerBank[i] = 0
+			ch.writesPerBank[i] = 0
+			ch.refreshPerBank[i] = 0
 		}
+		ch.readsMask, ch.writesMask, ch.refreshMask = 0, 0, 0
 		for k := range ch.blockWrites {
 			delete(ch.blockWrites, k)
 		}
@@ -217,7 +239,16 @@ func (c *Controller) Restore(r *snapshot.Reader, resolve OwnerResolver, pend *[]
 				case ReadReq:
 					req.rowTag = c.amap.RowBufferTag(req.Addr)
 					ch.readsPerBank[req.loc.Bank]++
+					ch.readsMask |= 1 << uint(req.loc.Bank)
+				case WriteReq:
+					ch.writesPerBank[req.loc.Bank]++
+					ch.writesMask |= 1 << uint(req.loc.Bank)
+					if ch.blockWrites != nil {
+						ch.blockWrites[req.Addr&^63]++
+					}
 				default:
+					ch.refreshPerBank[req.loc.Bank]++
+					ch.refreshMask |= 1 << uint(req.loc.Bank)
 					if ch.blockWrites != nil {
 						ch.blockWrites[req.Addr&^63]++
 					}
@@ -228,10 +259,13 @@ func (c *Controller) Restore(r *snapshot.Reader, resolve OwnerResolver, pend *[]
 		if r.Bool() {
 			at := timing.Time(r.I64())
 			seq := r.I64()
-			cch := ch
 			*pend = append(*pend, timing.Pending{At: at, Seq: seq, Arm: func() {
 				cch.wakeupAt = at
-				cch.wakeupEv = cch.ctl.eq.Schedule(at, cch.wakeupFn)
+				if cch.fast {
+					cch.timer.Arm(cch.eq, at) // draws the next seq, like Schedule
+				} else {
+					cch.wakeupEv = cch.eq.Schedule(at, cch.wakeupFn)
+				}
 			}})
 		}
 	}
@@ -247,7 +281,7 @@ func (c *Controller) Restore(r *snapshot.Reader, resolve OwnerResolver, pend *[]
 		seq := r.I64()
 		rr := req
 		*pend = append(*pend, timing.Pending{At: at, Seq: seq, Arm: func() {
-			c.trackFlight(rr, at, c.eq.Schedule(at, rr.doneFn).Seq())
+			c.trackFlight(rr, at, c.chans[rr.loc.Channel].eq.Schedule(at, rr.doneFn).Seq())
 		}})
 	}
 	c.stats = Stats{}

@@ -1,0 +1,46 @@
+package sampling
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"rrmpcm/internal/sim"
+	"rrmpcm/internal/timing"
+)
+
+// TestSampledShardsIdentical extends the shard-determinism property
+// (sim's TestShardsMetricsIdentical) to the full sampling executor: the
+// snapshot-producing pass, the functional fast-forwards and every forked
+// detailed window all inherit the configured shard count, and the
+// aggregated sampled metrics — confidence intervals included — must not
+// depend on it.
+func TestSampledShardsIdentical(t *testing.T) {
+	cfg := fastConfig(t)
+	cfg.Sampling = &sim.SamplingSpec{
+		Windows:      3,
+		Window:       60 * timing.Microsecond,
+		DetailWarmup: 20 * timing.Microsecond,
+	}
+	run := func(shards int) []byte {
+		c := cfg
+		c.Shards = shards
+		m, err := Run(context.Background(), c)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		mj, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mj
+	}
+	want := run(0)
+	for _, n := range []int{1, 2, 4} {
+		if got := run(n); !bytes.Equal(got, want) {
+			t.Errorf("sampled shards=%d metrics diverged from serial:\nserial:  %.400s\nsharded: %.400s",
+				n, want, got)
+		}
+	}
+}

@@ -112,7 +112,8 @@ func (b *backend) Access(coreID int, addr uint64, store bool, instNum uint64, no
 	if store {
 		kind = cache.Store
 	}
-	res := b.sys.hier.Access(coreID, addr, kind, false)
+	var res cache.Result
+	b.sys.hier.AccessInto(coreID, addr, kind, false, &res)
 
 	// LLC write registrations feed the policy (RRM's learning input).
 	for i := 0; i < res.NumRegistrations; i++ {

@@ -1,0 +1,183 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"testing"
+
+	"rrmpcm/internal/dram"
+	"rrmpcm/internal/trace"
+)
+
+// runShardProbe executes one golden-config run at the given shard count
+// and returns the full metrics JSON plus the sha256 of the warm-state
+// snapshot taken at the warmup boundary — the two artifacts the sharded
+// engine must reproduce byte-for-byte at every shard count.
+func runShardProbe(t *testing.T, cfg Config, shards int) (metricsJSON, snapSum []byte) {
+	t.Helper()
+	cfg.Shards = shards
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	ctx := context.Background()
+	if err := sys.Warmup(ctx); err != nil {
+		t.Fatal(err)
+	}
+	var sum []byte
+	if cfg.Scheme.Kind != SchemeCustom {
+		blob, err := sys.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := sha256.Sum256(blob)
+		sum = h[:]
+	}
+	m, err := sys.Measure(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mj, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mj, sum
+}
+
+// shardCounts is the property-test domain: 0 is the serial reference
+// engine; 1/2/4/8 exercise the sharded engine at every channel grouping
+// (8 caps at the 4-channel device, covering the over-provisioned case).
+var shardCounts = []int{0, 1, 2, 4, 8}
+
+// TestShardsMetricsIdentical is the tentpole's core property: for every
+// golden config, metrics JSON and the canonical warm-snapshot checksum
+// are byte-identical at every shard count — including the serial engine.
+// Run it under -race: with GOMAXPROCS > 1 the shard batches execute on
+// worker goroutines, and the barrier hand-off is the synchronization
+// the detector checks.
+func TestShardsMetricsIdentical(t *testing.T) {
+	for _, tc := range goldenCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			w, err := trace.WorkloadByName(tc.workload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := goldenConfig(tc.scheme, w)
+			wantM, wantS := runShardProbe(t, cfg, shardCounts[0])
+			for _, n := range shardCounts[1:] {
+				gotM, gotS := runShardProbe(t, cfg, n)
+				if !bytes.Equal(gotM, wantM) {
+					t.Errorf("shards=%d metrics diverged from serial:\n%s",
+						n, goldenDiff(wantM, gotM))
+				}
+				if !bytes.Equal(gotS, wantS) {
+					t.Errorf("shards=%d warm snapshot checksum diverged from serial", n)
+				}
+			}
+		})
+	}
+}
+
+// TestShardsHybridIdentical extends the property to the hybrid
+// DRAM+PCM tier: migration copy traffic crosses the core/channel shard
+// seam in both directions.
+func TestShardsHybridIdentical(t *testing.T) {
+	w, err := trace.WorkloadByName("GemsFDTD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := goldenConfig(RRMScheme(), w)
+	hc := dram.DefaultHybridConfig()
+	cfg.Hybrid = &hc
+	wantM, wantS := runShardProbe(t, cfg, 0)
+	for _, n := range shardCounts[1:] {
+		gotM, gotS := runShardProbe(t, cfg, n)
+		if !bytes.Equal(gotM, wantM) {
+			t.Errorf("hybrid shards=%d metrics diverged from serial:\n%s",
+				n, goldenDiff(wantM, gotM))
+		}
+		if !bytes.Equal(gotS, wantS) {
+			t.Errorf("hybrid shards=%d warm snapshot checksum diverged from serial", n)
+		}
+	}
+}
+
+// The sampled-run half of the property lives in
+// internal/sampling/shards_test.go (the executor imports sim, so it
+// cannot be exercised from here without a cycle).
+
+// TestShardsForkEquality checks warm-start fork equality across the
+// engine seam: a warm snapshot taken by the serial engine, restored into
+// a sharded system (and vice versa), measures to the exact metrics of
+// the straight-through run — the property the engine's warm-start cache
+// relies on to share snapshots across shard counts.
+func TestShardsForkEquality(t *testing.T) {
+	w, err := trace.WorkloadByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := goldenConfig(RRMScheme(), w)
+	ctx := context.Background()
+
+	warmBlob := func(shards int) []byte {
+		c := cfg
+		c.Shards = shards
+		sys, err := New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sys.Close()
+		if err := sys.Warmup(ctx); err != nil {
+			t.Fatal(err)
+		}
+		blob, err := sys.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+	measureFrom := func(blob []byte, shards int) []byte {
+		c := cfg
+		c.Shards = shards
+		sys, err := New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Restore(blob); err != nil {
+			t.Fatal(err)
+		}
+		m, err := sys.Measure(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mj, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mj
+	}
+
+	straight, _ := runShardProbe(t, cfg, 0)
+	serialBlob, shardedBlob := warmBlob(0), warmBlob(4)
+	if !bytes.Equal(serialBlob, shardedBlob) {
+		t.Errorf("warm snapshot bytes differ between serial and sharded engines")
+	}
+	for _, tc := range []struct {
+		name   string
+		blob   []byte
+		shards int
+	}{
+		{"serial->sharded", serialBlob, 4},
+		{"sharded->serial", shardedBlob, 0},
+		{"sharded->sharded2", shardedBlob, 2},
+	} {
+		if got := measureFrom(tc.blob, tc.shards); !bytes.Equal(got, straight) {
+			t.Errorf("%s fork metrics diverged from straight-through run:\n%s",
+				tc.name, goldenDiff(straight, got))
+		}
+	}
+}

@@ -20,11 +20,14 @@ import (
 // (and streams may now be Dynamic or Replay cursors, whose section tags
 // differ from Mixture's); v3 adds the hybrid DRAM/migration sections and
 // the OwnerMigrate identity for in-flight copy reads.
+// v4 adds the shard-mailbox section (and the controller wakeup record
+// may now describe a timer slot — same bytes, same (time, seq)
+// position, whichever engine wrote it).
 // engine.warmHashVersion was bumped alongside each, so older blobs are
 // never looked up, let alone misparsed.
 const (
 	sysSnapMagic   uint32 = 0x52524D53 // "RRMS"
-	sysSnapVersion uint16 = 3
+	sysSnapVersion uint16 = 4
 )
 
 // Snapshot serializes a warmed system (after Warmup, before Measure).
@@ -41,6 +44,14 @@ func (s *System) Snapshot() ([]byte, error) {
 	w := snapshot.NewWriter(1 << 20)
 	w.Header(sysSnapMagic, sysSnapVersion)
 	w.I64(int64(s.eq.Now()))
+	// Shard-mailbox section (v4): the count of in-transit cross-shard
+	// messages owned by no component. Snapshots are only taken between
+	// epochs, when every cross-shard event rests in its destination queue
+	// and is serialized by the component that owns it, so the count is
+	// zero by construction — deliberately independent of the shard count,
+	// which keeps snapshot bytes identical across engines. Restore
+	// validates the invariant.
+	w.U32(0)
 	w.U32(uint32(len(s.cores)))
 	for i, c := range s.cores {
 		s.gens[i].Snapshot(w)
@@ -110,13 +121,20 @@ func (s *System) Restore(blob []byte) error {
 		return err
 	}
 	warm := timing.Time(r.I64())
+	if n := r.U32(); r.Err() == nil && n != 0 {
+		r.Fail("sim: snapshot holds %d in-transit mailbox messages (always 0 at epoch barriers)", n)
+	}
 	if n := r.U32(); r.Err() == nil && int(n) != len(s.cores) {
 		r.Fail("sim: snapshot has %d cores, live system %d", n, len(s.cores))
 	}
 	if err := r.Err(); err != nil {
 		return err
 	}
-	s.eq.Reset(warm)
+	if s.set != nil {
+		s.set.Reset(warm)
+	} else {
+		s.eq.Reset(warm)
+	}
 	var pend []timing.Pending
 	for i, c := range s.cores {
 		s.gens[i].Restore(r)

@@ -34,6 +34,20 @@ type Mixture struct {
 	hotBases  []uint64 // region base addresses of the hot pool
 	streamPos uint64
 
+	// hotThresholds[j] is the smallest u with power-law bucket index
+	// j+1, precomputed so the per-draw region choice is a binary search
+	// instead of a math.Pow call (~half the generator's cost). The
+	// boundaries are refined to exact float64 adjacency against the
+	// original int(Pow(u, skew)*n) expression, so the chosen region is
+	// bit-identical to evaluating it directly.
+	hotThresholds []float64
+
+	// hotCells[j] counts thresholds strictly below j*2^-12: a draw u in
+	// cell j = int(u*4096) only needs to scan hotThresholds in
+	// [hotCells[j], hotCells[j+1]) — at typical pool sizes under a
+	// handful of boundaries — instead of a full binary search.
+	hotCells []int32
+
 	// Hot-store sweep state: hot writes visit a region as a burst that
 	// sweeps its blocks in order (the spatial pattern of stencil /
 	// field-update codes), so a region's blocks are re-written at the
@@ -99,8 +113,85 @@ func NewMixture(prof Profile, base, span uint64, seed uint64) (*Mixture, error) 
 			region := (uint64(i)*stride + m.rng.next()%stride) % wsRegions
 			m.hotBases[i] = base + region<<12
 		}
+		if len(m.hotBases) > 1 {
+			m.hotThresholds = buildHotThresholds(len(m.hotBases), prof.HotSkew)
+			m.hotCells = buildHotCells(m.hotThresholds)
+		}
 	}
 	return m, nil
+}
+
+// buildHotThresholds precomputes, for each bucket i in [1, n), the
+// smallest float64 u at which int(math.Pow(u, skew)*n), clamped to n-1,
+// reaches i. Non-negative float64s order identically to their bit
+// patterns, so the exact float boundary is found by galloping out from
+// the analytic inverse (i/n)^(1/skew) — within a few ulps of the true
+// edge — and bit-bisecting the bracket. Construction costs a handful of
+// Pow calls per bucket, once per generator.
+func buildHotThresholds(n int, skew float64) []float64 {
+	fn := float64(n)
+	pred := func(b uint64, i int) bool {
+		idx := int(math.Pow(math.Float64frombits(b), skew) * fn)
+		if idx >= n {
+			idx = n - 1
+		}
+		return idx >= i
+	}
+	one := math.Float64bits(1.0)
+	th := make([]float64, n-1)
+	for i := 1; i < n; i++ {
+		gb := math.Float64bits(math.Pow(float64(i)/fn, 1/skew))
+		if gb > one {
+			gb = one
+		}
+		// Bracket [lo, hi] with pred(hi) true and pred(lo-1) false
+		// (u=0 maps to bucket 0 and u=1 clamps to n-1, so both ends
+		// are guaranteed).
+		var lo, hi uint64
+		if pred(gb, i) {
+			lo, hi = 0, gb
+			for step := uint64(1); hi >= step; step *= 2 {
+				if c := hi - step; !pred(c, i) {
+					lo = c + 1
+					break
+				}
+			}
+		} else {
+			lo, hi = gb+1, one
+			for step := uint64(1); lo+step <= one; step *= 2 {
+				if c := lo + step; pred(c, i) {
+					hi = c
+					break
+				}
+			}
+		}
+		for lo < hi {
+			mid := lo + (hi-lo)/2
+			if pred(mid, i) {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		th[i-1] = math.Float64frombits(lo)
+	}
+	return th
+}
+
+// buildHotCells builds the 4096-cell coarse index over the sorted
+// threshold list: cells[j] = #{th[i] < j*2^-12}. The cell width 2^-12 is
+// a power of two, so int(u*4096) is an exact bucketing of u.
+func buildHotCells(th []float64) []int32 {
+	cells := make([]int32, 4097)
+	idx := 0
+	for j := 0; j <= 4096; j++ {
+		bound := float64(j) * (1.0 / 4096)
+		for idx < len(th) && th[idx] < bound {
+			idx++
+		}
+		cells[j] = int32(idx)
+	}
+	return cells
 }
 
 // Name implements Generator.
@@ -137,12 +228,19 @@ func (m *Mixture) Next(op *Op) {
 	}
 }
 
-// hotRegionIndex picks a hot-pool region with power-law skew.
+// hotRegionIndex picks a hot-pool region with power-law skew: the
+// bucket is the count of precomputed boundaries at or below the draw,
+// which equals int(Pow(u, skew)*n) by construction (see
+// buildHotThresholds) without paying for Pow on every access.
 func (m *Mixture) hotRegionIndex() int {
 	u := m.rng.float64()
-	idx := int(math.Pow(u, m.prof.HotSkew) * float64(len(m.hotBases)))
-	if idx >= len(m.hotBases) {
-		idx = len(m.hotBases) - 1
+	if m.hotCells == nil {
+		return 0 // single-region pool: the draw still advances the rng
+	}
+	j := int(u * 4096)
+	idx := int(m.hotCells[j])
+	th := m.hotThresholds
+	for e := int(m.hotCells[j+1]); idx < e && th[idx] <= u; idx++ {
 	}
 	return idx
 }

@@ -36,9 +36,11 @@ func (p *prng) next() uint64 {
 	return z ^ (z >> 31)
 }
 
-// float64 returns a uniform value in [0, 1).
+// float64 returns a uniform value in [0, 1). Multiplying by the exact
+// reciprocal 2^-53 is bit-identical to dividing by 2^53 (both are pure
+// exponent shifts on a value below 2^53) and avoids the divide.
 func (p *prng) float64() float64 {
-	return float64(p.next()>>11) / (1 << 53)
+	return float64(p.next()>>11) * (1.0 / (1 << 53))
 }
 
 // intn returns a uniform value in [0, n). n must be positive.

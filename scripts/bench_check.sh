@@ -1,6 +1,6 @@
 #!/usr/bin/env sh
 # bench_check.sh — the CI perf gate: re-run the tracked hot-path
-# benchmarks and compare them against the committed BENCH_9.json. A
+# benchmarks and compare them against the committed BENCH_10.json. A
 # benchmark fails the gate when its ns/op regresses by more than 10%
 # (absorbing ordinary machine noise) or its allocs/op regresses at all
 # (allocation counts are deterministic, so any increase is a real
@@ -12,8 +12,8 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-REF=${1:-BENCH_9.json}
-BENCH='^(BenchmarkTraceGenerator|BenchmarkCacheHierarchyAccess|BenchmarkMemoryController|BenchmarkFullSystemSimulation|BenchmarkHybridDRAMHit)$'
+REF=${1:-BENCH_10.json}
+BENCH='^(BenchmarkTraceGenerator|BenchmarkCacheHierarchyAccess|BenchmarkMemoryController|BenchmarkFullSystemSimulation|BenchmarkShardedSimulation|BenchmarkHybridDRAMHit)$'
 
 if [ ! -f "$REF" ]; then
     echo "bench_check: reference $REF missing (run scripts/bench_json.sh first)" >&2

@@ -1,6 +1,6 @@
 #!/usr/bin/env sh
 # bench_json.sh — run the simulator hot-path benchmarks and emit a
-# machine-readable JSON report (default BENCH_9.json) with ns/op, B/op
+# machine-readable JSON report (default BENCH_10.json) with ns/op, B/op
 # and allocs/op per benchmark, the recorded pre-optimization baseline
 # from scripts/bench_baseline_3.json (where one exists), and the
 # relative improvement. The cold/warm sweep pair measures the warm-start
@@ -20,9 +20,9 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_9.json}
+OUT=${1:-BENCH_10.json}
 BASELINE=scripts/bench_baseline_3.json
-BENCH='^(BenchmarkTraceGenerator|BenchmarkTraceGeneratorPhases|BenchmarkTraceGeneratorBurst|BenchmarkTraceReplay|BenchmarkCacheHierarchyAccess|BenchmarkMemoryController|BenchmarkFullSystemSimulation|BenchmarkReliabilitySimulation|BenchmarkColdStartSweep|BenchmarkWarmStartSweep|BenchmarkFullRun|BenchmarkSampledRun|BenchmarkHybridDRAMHit|BenchmarkHybridMigration)$'
+BENCH='^(BenchmarkTraceGenerator|BenchmarkTraceGeneratorPhases|BenchmarkTraceGeneratorBurst|BenchmarkTraceReplay|BenchmarkCacheHierarchyAccess|BenchmarkMemoryController|BenchmarkFullSystemSimulation|BenchmarkShardedSimulation|BenchmarkReliabilitySimulation|BenchmarkColdStartSweep|BenchmarkWarmStartSweep|BenchmarkFullRun|BenchmarkSampledRun|BenchmarkHybridDRAMHit|BenchmarkHybridMigration)$'
 
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
